@@ -1,0 +1,106 @@
+// Reproduces Figure 7 and Table 7: best performance of the seven
+// optimizers over iterations on small (top-5), medium (top-20) and large
+// (all 197) configuration spaces, on SYSBENCH and JOB, plus the average
+// ranking per space size.
+//
+// Paper protocol: 200 iterations, 3 runs, knobs ranked by SHAP.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dbtune;
+  using namespace dbtune::bench;
+  Banner("Figure 7 + Table 7: which optimizer is the winner?",
+         "7 optimizers x {small=5, medium=20, large=197} knobs x "
+         "{SYSBENCH, JOB}, 200 iterations, 3 runs");
+
+  const size_t iterations = ScaledIters(200, 60);
+  const int runs = ScaledRuns(3);
+  const std::vector<OptimizerType> optimizers = PaperOptimizers();
+  struct SpaceSpec {
+    const char* name;
+    size_t knobs;
+  };
+  const std::vector<SpaceSpec> spaces = {{"small", 5}, {"medium", 20},
+                                         {"large", 197}};
+
+  // ranking accumulation: per space size, scenarios are workloads.
+  std::vector<std::vector<std::vector<double>>> per_space_results(
+      spaces.size());
+  std::vector<std::vector<double>> overall_results;
+
+  for (WorkloadId workload : {WorkloadId::kSysbench, WorkloadId::kJob}) {
+    // Knob ranking via SHAP on collected samples (paper protocol).
+    DbmsSimulator ranking_sim(workload, HardwareInstance::kB, 1);
+    const ImportanceData data =
+        CollectImportanceData(&ranking_sim, ScaledSamples(6250, 600), 51);
+    const ImportanceInput input =
+        MakeImportanceInput(ranking_sim.space(), data.configs, data.scores,
+                            ranking_sim.EffectiveDefault(),
+                            data.default_score)
+            .value();
+    std::unique_ptr<ImportanceMeasure> shap =
+        CreateImportanceMeasure(MeasurementType::kShap, 53);
+    const std::vector<double> importance = shap->Rank(input).value();
+
+    for (size_t space_index = 0; space_index < spaces.size(); ++space_index) {
+      const SpaceSpec& spec = spaces[space_index];
+      const std::vector<size_t> knobs = TopKnobs(importance, spec.knobs);
+
+      TablePrinter curve({"iteration", "Vanilla BO", "Mixed-Kernel BO",
+                          "SMAC", "TPE", "TuRBO", "DDPG", "GA"});
+      std::vector<SessionSummary> summaries;
+      std::printf("running %s / %s space (%zu knobs) ...\n",
+                  WorkloadName(workload), spec.name, spec.knobs);
+      for (OptimizerType optimizer : optimizers) {
+        summaries.push_back(RunSessions(workload, HardwareInstance::kB,
+                                        knobs, optimizer, iterations, runs,
+                                        700 + 31 * space_index));
+      }
+      for (size_t i = iterations / 8; i <= iterations;
+           i += iterations / 8) {
+        const size_t idx = std::min(i, iterations) - 1;
+        std::vector<std::string> row = {std::to_string(idx + 1)};
+        for (const SessionSummary& summary : summaries) {
+          std::vector<double> at;
+          for (const SessionResult& run : summary.runs) {
+            at.push_back(run.improvement_trace[idx]);
+          }
+          row.push_back(TablePrinter::Num(Median(at), 1) + "%");
+        }
+        curve.AddRow(std::move(row));
+      }
+      std::printf("Figure 7 — %s, %s space (median best-so-far "
+                  "improvement):\n",
+                  WorkloadName(workload), spec.name);
+      curve.Print();
+      std::printf("\n");
+
+      std::vector<double> finals;
+      for (const SessionSummary& summary : summaries) {
+        finals.push_back(summary.median_improvement);
+      }
+      per_space_results[space_index].push_back(finals);
+      overall_results.push_back(finals);
+    }
+  }
+
+  // Table 7: average rankings per space size and overall.
+  TablePrinter table7({"Space", "Vanilla BO", "Mixed-Kernel BO", "SMAC",
+                       "TPE", "TuRBO", "DDPG", "GA"});
+  for (size_t space_index = 0; space_index < spaces.size(); ++space_index) {
+    const std::vector<double> ranks =
+        AverageRanks(per_space_results[space_index], true);
+    std::vector<std::string> row = {spaces[space_index].name};
+    for (double r : ranks) row.push_back(TablePrinter::Num(r, 2));
+    table7.AddRow(std::move(row));
+  }
+  const std::vector<double> overall = AverageRanks(overall_results, true);
+  std::vector<std::string> row = {"Overall"};
+  for (double r : overall) row.push_back(TablePrinter::Num(r, 2));
+  table7.AddRow(std::move(row));
+  std::printf("Table 7 — average optimizer ranking (lower = better; paper: "
+              "SMAC best overall at 1.72, TPE worst at 5.94):\n");
+  table7.Print();
+  return 0;
+}

@@ -1,0 +1,116 @@
+#ifndef DBTUNE_BENCH_BENCH_UTIL_H_
+#define DBTUNE_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment-reproduction benches. Every bench
+// follows the paper's protocol but scales budgets by DBTUNE_BENCH_SCALE
+// (default 0.3) so the full suite runs in minutes on a laptop; set
+// DBTUNE_BENCH_SCALE=1 to replicate the paper's iteration counts exactly.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/tuning_session.h"
+#include "dbms/environment.h"
+#include "importance/importance.h"
+#include "sampling/latin_hypercube.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace dbtune::bench {
+
+/// Budget multiplier from DBTUNE_BENCH_SCALE (clamped to [0.05, 2]).
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("DBTUNE_BENCH_SCALE");
+    double value = env ? std::atof(env) : 0.3;
+    if (value <= 0.0) value = 0.3;
+    return std::clamp(value, 0.05, 2.0);
+  }();
+  return scale;
+}
+
+/// Paper iteration count scaled down, with a floor.
+inline size_t ScaledIters(size_t paper_iterations, size_t floor = 40) {
+  const auto scaled =
+      static_cast<size_t>(static_cast<double>(paper_iterations) * Scale());
+  return std::max(scaled, std::min(floor, paper_iterations));
+}
+
+/// Paper sample count scaled down, with a floor.
+inline size_t ScaledSamples(size_t paper_samples, size_t floor = 300) {
+  const auto scaled =
+      static_cast<size_t>(static_cast<double>(paper_samples) * Scale());
+  return std::max(scaled, std::min(floor, paper_samples));
+}
+
+/// Paper repetition count scaled (>= 2 so quartiles exist).
+inline int ScaledRuns(int paper_runs) {
+  return std::max(2, static_cast<int>(paper_runs * Scale() + 0.5));
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const char* experiment, const char* paper_setup) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("paper setup: %s\n", paper_setup);
+  std::printf("scale: %.2f (set DBTUNE_BENCH_SCALE to change)\n\n", Scale());
+}
+
+/// Collects an importance-measurement training set over the full catalog:
+/// LHS samples evaluated on the simulator (the paper's 6250-sample
+/// protocol, scaled).
+struct ImportanceData {
+  std::vector<Configuration> configs;
+  std::vector<double> scores;
+  double default_score = 0.0;
+};
+
+inline ImportanceData CollectImportanceData(DbmsSimulator* sim,
+                                            size_t samples, uint64_t seed) {
+  TuningEnvironment env(sim);
+  Rng rng(seed);
+  ImportanceData data;
+  for (const Configuration& c :
+       LatinHypercubeSample(sim->space(), samples, rng)) {
+    const Observation obs = env.Evaluate(c);
+    data.configs.push_back(obs.config);
+    data.scores.push_back(obs.score);
+  }
+  data.default_score = env.default_score();
+  return data;
+}
+
+/// Median final improvement over several seeded sessions of one optimizer
+/// on one knob subset; optionally fills best-so-far traces (median run).
+struct SessionSummary {
+  double median_improvement = 0.0;
+  double median_best_iteration = 0.0;
+  std::vector<SessionResult> runs;
+};
+
+inline SessionSummary RunSessions(WorkloadId workload,
+                                  HardwareInstance hardware,
+                                  const std::vector<size_t>& knobs,
+                                  OptimizerType optimizer, size_t iterations,
+                                  int num_runs, uint64_t seed_base) {
+  SessionSummary summary;
+  std::vector<double> improvements, best_iters;
+  for (int run = 0; run < num_runs; ++run) {
+    DbmsSimulator sim(workload, hardware, seed_base + 1000 * run);
+    summary.runs.push_back(RunTuningSession(
+        &sim, knobs, optimizer, iterations, seed_base + run));
+    improvements.push_back(summary.runs.back().final_improvement);
+    best_iters.push_back(
+        static_cast<double>(summary.runs.back().best_iteration));
+  }
+  summary.median_improvement = Median(improvements);
+  summary.median_best_iteration = Median(best_iters);
+  return summary;
+}
+
+}  // namespace dbtune::bench
+
+#endif  // DBTUNE_BENCH_BENCH_UTIL_H_

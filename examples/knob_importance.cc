@@ -1,0 +1,84 @@
+// Knob-selection demo: collect observations on a simulated DBMS, rank all
+// 197 knobs with the five importance measurements of the paper's Table 2,
+// and print each measurement's top-10 list side by side.
+//
+//   $ ./knob_importance [workload]     (default: SYSBENCH)
+
+#include <cstdio>
+#include <cstring>
+
+#include "dbms/environment.h"
+#include "importance/importance.h"
+#include "sampling/latin_hypercube.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dbtune;
+
+  WorkloadId workload = WorkloadId::kSysbench;
+  if (argc > 1) {
+    for (WorkloadId id : AllWorkloads()) {
+      if (std::strcmp(argv[1], WorkloadName(id)) == 0) workload = id;
+    }
+  }
+
+  DbmsSimulator dbms(workload, HardwareInstance::kB, /*seed=*/11);
+  TuningEnvironment env(&dbms);
+
+  // Collect (configuration, performance) observations via LHS.
+  const size_t kSamples = 600;
+  std::printf("Collecting %zu LHS samples on %s ...\n", kSamples,
+              dbms.workload().name);
+  Rng rng(3);
+  std::vector<Configuration> configs;
+  std::vector<double> scores;
+  size_t failed = 0;
+  for (const Configuration& c :
+       LatinHypercubeSample(dbms.space(), kSamples, rng)) {
+    const Observation obs = env.Evaluate(c);
+    configs.push_back(obs.config);
+    scores.push_back(obs.score);
+    failed += obs.failed;
+  }
+  std::printf("  (%zu crashed and were assigned the worst score)\n", failed);
+
+  Result<ImportanceInput> input =
+      MakeImportanceInput(dbms.space(), configs, scores,
+                          dbms.EffectiveDefault(), env.default_score());
+  if (!input.ok()) {
+    std::printf("error: %s\n", input.status().ToString().c_str());
+    return 1;
+  }
+
+  // Rank with each measurement and tabulate the top-10 knobs.
+  const size_t kTop = 10;
+  std::vector<std::string> headers = {"rank"};
+  std::vector<std::vector<std::string>> columns;
+  for (MeasurementType type : AllMeasurements()) {
+    std::unique_ptr<ImportanceMeasure> measure =
+        CreateImportanceMeasure(type, 17);
+    std::printf("Ranking with %s ...\n", measure->name().c_str());
+    Result<std::vector<double>> importance = measure->Rank(*input);
+    if (!importance.ok()) {
+      std::printf("  failed: %s\n", importance.status().ToString().c_str());
+      return 1;
+    }
+    headers.push_back(measure->name());
+    std::vector<std::string> column;
+    for (size_t knob : TopKnobs(*importance, kTop)) {
+      column.push_back(dbms.space().knob(knob).name());
+    }
+    columns.push_back(std::move(column));
+  }
+
+  TablePrinter table(headers);
+  for (size_t r = 0; r < kTop; ++r) {
+    std::vector<std::string> row = {std::to_string(r + 1)};
+    for (const auto& column : columns) row.push_back(column[r]);
+    table.AddRow(std::move(row));
+  }
+  std::printf("\nTop-%zu knobs per importance measurement on %s:\n", kTop,
+              dbms.workload().name);
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Optimizer shoot-out: run every optimizer family of the paper's Section 6
+// on the same tuning task and print the best-found improvement over
+// iterations, as a quick qualitative view of Figure 7.
+//
+//   $ ./optimizer_shootout [iterations]     (default: 100)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/tuning_session.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dbtune;
+  const size_t iterations =
+      argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 100;
+
+  DbmsSimulator probe(WorkloadId::kSysbench, HardwareInstance::kB, 1);
+  const std::vector<size_t> ranking = probe.surface().TunabilityRanking();
+  const std::vector<size_t> knobs(ranking.begin(), ranking.begin() + 20);
+
+  std::vector<std::string> headers = {"iteration"};
+  std::vector<SessionResult> results;
+  for (OptimizerType type : PaperOptimizers()) {
+    DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 99);
+    headers.push_back(OptimizerTypeName(type));
+    std::printf("running %s ...\n", OptimizerTypeName(type));
+    results.push_back(RunTuningSession(&sim, knobs, type, iterations, 3));
+  }
+
+  TablePrinter table(headers);
+  for (size_t i = 9; i < iterations; i += 10) {
+    std::vector<std::string> row = {std::to_string(i + 1)};
+    for (const SessionResult& r : results) {
+      row.push_back(TablePrinter::Num(r.improvement_trace[i], 1) + "%");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("\nBest-so-far improvement over iterations (SYSBENCH, top-20 "
+              "knobs):\n");
+  table.Print();
+  return 0;
+}

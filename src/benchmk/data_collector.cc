@@ -1,0 +1,74 @@
+#include "benchmk/data_collector.h"
+
+#include <algorithm>
+
+#include "core/tuning_session.h"
+#include "dbms/environment.h"
+#include "optimizer/optimizer.h"
+#include "sampling/latin_hypercube.h"
+#include "util/logging.h"
+
+namespace dbtune {
+
+Result<TuningDataset> CollectDataset(DbmsSimulator* simulator,
+                                     const std::vector<size_t>& knob_indices,
+                                     const CollectionOptions& options) {
+  DBTUNE_CHECK(simulator != nullptr);
+  if (options.lhs_samples == 0) {
+    return Status::InvalidArgument("lhs_samples must be positive");
+  }
+
+  TuningEnvironment env(simulator, knob_indices);
+  const double sim_start = simulator->simulated_seconds();
+
+  TuningDataset dataset;
+  dataset.space = env.space();
+  dataset.objective_kind = simulator->workload().objective;
+  dataset.default_config = dataset.space.Default();
+  dataset.default_objective = env.default_objective();
+
+  Rng rng(options.seed);
+  const std::vector<Configuration> lhs =
+      LatinHypercubeSample(dataset.space, options.lhs_samples, rng);
+  for (const Configuration& config : lhs) {
+    env.Evaluate(config);
+  }
+
+  if (options.optimizer_guided_samples > 0) {
+    OptimizerOptions optimizer_options;
+    optimizer_options.seed = options.seed ^ 0x60D;
+    std::unique_ptr<Optimizer> smac =
+        CreateOptimizer(OptimizerType::kSmac, dataset.space,
+                        optimizer_options);
+    for (size_t i = 0; i < options.optimizer_guided_samples; ++i) {
+      const Configuration config = smac->Suggest();
+      const Observation obs = env.Evaluate(config);
+      smac->ObserveWithMetrics(obs.config, obs.score, obs.internal_metrics);
+    }
+  }
+
+  // Materialize: failed configurations take the worst successful
+  // objective.
+  const std::vector<Observation>& history = env.history();
+  double worst_objective = dataset.default_objective;
+  for (const Observation& obs : history) {
+    if (obs.failed) continue;
+    if (dataset.objective_kind == ObjectiveKind::kThroughput) {
+      worst_objective = std::min(worst_objective, obs.objective);
+    } else {
+      worst_objective = std::max(worst_objective, obs.objective);
+    }
+  }
+  dataset.unit_x.reserve(history.size());
+  dataset.objectives.reserve(history.size());
+  for (const Observation& obs : history) {
+    dataset.unit_x.push_back(dataset.space.ToUnit(obs.config));
+    dataset.objectives.push_back(obs.failed ? worst_objective
+                                            : obs.objective);
+  }
+  dataset.simulated_collection_seconds =
+      simulator->simulated_seconds() - sim_start;
+  return dataset;
+}
+
+}  // namespace dbtune

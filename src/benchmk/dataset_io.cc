@@ -1,0 +1,192 @@
+#include "benchmk/dataset_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+namespace {
+
+constexpr char kHeader[] = "dbtune-dataset v1";
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == '|') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+std::string FormatDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad number: " + s);
+  }
+  return v;
+}
+
+}  // namespace
+
+Status SaveTuningDataset(const TuningDataset& dataset,
+                         const std::string& path) {
+  if (dataset.space.dimension() == 0) {
+    return Status::InvalidArgument("dataset has an empty space");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+
+  out << kHeader << "\n";
+  out << "meta|"
+      << (dataset.objective_kind == ObjectiveKind::kThroughput ? "throughput"
+                                                               : "latency")
+      << "|" << FormatDouble(dataset.default_objective) << "\n";
+
+  for (const Knob& knob : dataset.space.knobs()) {
+    out << "knob|" << knob.name() << "|" << KnobTypeName(knob.type()) << "|"
+        << FormatDouble(knob.min()) << "|" << FormatDouble(knob.max()) << "|"
+        << FormatDouble(knob.default_value()) << "|"
+        << (knob.log_scale() ? 1 : 0) << "|";
+    for (size_t c = 0; c < knob.num_categories(); ++c) {
+      if (c) out << ";";
+      out << knob.categories()[c];
+    }
+    out << "\n";
+  }
+
+  out << "default";
+  for (size_t i = 0; i < dataset.default_config.size(); ++i) {
+    out << "|" << FormatDouble(dataset.default_config[i]);
+  }
+  out << "\n";
+
+  for (size_t row = 0; row < dataset.unit_x.size(); ++row) {
+    out << "sample|" << FormatDouble(dataset.objectives[row]);
+    for (double u : dataset.unit_x[row]) out << "|" << FormatDouble(u);
+    out << "\n";
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+Result<TuningDataset> LoadTuningDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument(path + " is not a dbtune dataset file");
+  }
+
+  TuningDataset dataset;
+  std::vector<Knob> knobs;
+  bool saw_meta = false;
+  bool saw_default = false;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = SplitFields(line);
+    const std::string& tag = fields.front();
+
+    if (tag == "meta") {
+      if (fields.size() != 3) return Status::InvalidArgument("bad meta line");
+      dataset.objective_kind = fields[1] == "latency"
+                                   ? ObjectiveKind::kLatencyP95
+                                   : ObjectiveKind::kThroughput;
+      Result<double> def = ParseDouble(fields[2]);
+      DBTUNE_RETURN_IF_ERROR(def.status());
+      dataset.default_objective = *def;
+      saw_meta = true;
+    } else if (tag == "knob") {
+      if (fields.size() != 8) return Status::InvalidArgument("bad knob line");
+      const std::string& name = fields[1];
+      const std::string& type = fields[2];
+      Result<double> min = ParseDouble(fields[3]);
+      Result<double> max = ParseDouble(fields[4]);
+      Result<double> def = ParseDouble(fields[5]);
+      DBTUNE_RETURN_IF_ERROR(min.status());
+      DBTUNE_RETURN_IF_ERROR(max.status());
+      DBTUNE_RETURN_IF_ERROR(def.status());
+      const bool log_scale = fields[6] == "1";
+      if (type == "continuous") {
+        knobs.push_back(Knob::Continuous(name, *min, *max, *def, log_scale));
+      } else if (type == "integer") {
+        knobs.push_back(Knob::Integer(name, static_cast<int64_t>(*min),
+                                      static_cast<int64_t>(*max),
+                                      static_cast<int64_t>(*def), log_scale));
+      } else if (type == "categorical") {
+        std::vector<std::string> categories;
+        std::stringstream cats(fields[7]);
+        std::string cat;
+        while (std::getline(cats, cat, ';')) categories.push_back(cat);
+        if (categories.size() < 2) {
+          return Status::InvalidArgument("categorical knob " + name +
+                                         " needs >= 2 categories");
+        }
+        knobs.push_back(Knob::Categorical(name, std::move(categories),
+                                          static_cast<size_t>(*def)));
+      } else {
+        return Status::InvalidArgument("unknown knob type: " + type);
+      }
+    } else if (tag == "default") {
+      if (knobs.empty()) {
+        return Status::InvalidArgument("default line before knob lines");
+      }
+      if (fields.size() != knobs.size() + 1) {
+        return Status::InvalidArgument("default arity mismatch");
+      }
+      std::vector<double> values;
+      for (size_t i = 1; i < fields.size(); ++i) {
+        Result<double> v = ParseDouble(fields[i]);
+        DBTUNE_RETURN_IF_ERROR(v.status());
+        values.push_back(*v);
+      }
+      dataset.default_config = Configuration(std::move(values));
+      saw_default = true;
+    } else if (tag == "sample") {
+      if (knobs.empty()) {
+        return Status::InvalidArgument("sample line before knob lines");
+      }
+      if (fields.size() != knobs.size() + 2) {
+        return Status::InvalidArgument("sample arity mismatch");
+      }
+      Result<double> objective = ParseDouble(fields[1]);
+      DBTUNE_RETURN_IF_ERROR(objective.status());
+      std::vector<double> unit;
+      for (size_t i = 2; i < fields.size(); ++i) {
+        Result<double> v = ParseDouble(fields[i]);
+        DBTUNE_RETURN_IF_ERROR(v.status());
+        unit.push_back(*v);
+      }
+      dataset.objectives.push_back(*objective);
+      dataset.unit_x.push_back(std::move(unit));
+    } else {
+      return Status::InvalidArgument("unknown line tag: " + tag);
+    }
+  }
+
+  if (!saw_meta || !saw_default || knobs.empty()) {
+    return Status::InvalidArgument(path + " is incomplete");
+  }
+  dataset.space = ConfigurationSpace(std::move(knobs));
+  DBTUNE_RETURN_IF_ERROR(dataset.space.Validate(dataset.default_config));
+  return dataset;
+}
+
+}  // namespace dbtune

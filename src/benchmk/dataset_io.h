@@ -1,0 +1,30 @@
+#ifndef DBTUNE_BENCHMK_DATASET_IO_H_
+#define DBTUNE_BENCHMK_DATASET_IO_H_
+
+#include <string>
+
+#include "benchmk/data_collector.h"
+
+namespace dbtune {
+
+/// Persistence for tuning datasets — the paper publishes its benchmark so
+/// others can evaluate optimizers without re-collecting 13 days of
+/// measurements; these functions serialize a `TuningDataset` (including
+/// its configuration space) to a self-contained text file.
+///
+/// Format (line-oriented, '|'-separated):
+///   dbtune-dataset v1
+///   meta|<objective_kind>|<default_objective>
+///   knob|<name>|<type>|<min>|<max>|<default>|<log>|<cat;cat;...>
+///   default|<v0>|<v1>|...
+///   sample|<objective>|<u0>|<u1>|...          (unit-encoded)
+Status SaveTuningDataset(const TuningDataset& dataset,
+                         const std::string& path);
+
+/// Loads a dataset written by `SaveTuningDataset`. Validates the header,
+/// knob domains, and row arity.
+Result<TuningDataset> LoadTuningDataset(const std::string& path);
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_BENCHMK_DATASET_IO_H_

@@ -1,0 +1,81 @@
+#include "core/advisor.h"
+
+#include "dbms/environment.h"
+#include "sampling/latin_hypercube.h"
+#include "transfer/rgpe.h"
+#include "util/logging.h"
+
+namespace dbtune {
+
+Result<AdvisorReport> TuneDbms(DbmsSimulator* simulator,
+                               const AdvisorOptions& options,
+                               const ObservationRepository* repository) {
+  DBTUNE_CHECK(simulator != nullptr);
+  if (options.tuning_knobs == 0 ||
+      options.tuning_knobs > simulator->space().dimension()) {
+    return Status::InvalidArgument("tuning_knobs out of range");
+  }
+
+  AdvisorReport report;
+
+  // --- Step 1: collect observations over the full space.
+  TuningEnvironment full_env(simulator);
+  Rng rng(options.seed);
+  const std::vector<Configuration> samples = LatinHypercubeSample(
+      simulator->space(), options.importance_samples, rng);
+  std::vector<Configuration> configs;
+  std::vector<double> scores;
+  for (const Configuration& config : samples) {
+    const Observation obs = full_env.Evaluate(config);
+    configs.push_back(obs.config);
+    scores.push_back(obs.score);
+  }
+  report.default_objective = full_env.default_objective();
+
+  // --- Step 2: rank knobs and prune the space.
+  Result<ImportanceInput> input = MakeImportanceInput(
+      simulator->space(), configs, scores,
+      simulator->EffectiveDefault(), full_env.default_score());
+  DBTUNE_RETURN_IF_ERROR(input.status());
+  std::unique_ptr<ImportanceMeasure> measure =
+      CreateImportanceMeasure(options.measurement, options.seed);
+  Result<std::vector<double>> importance = measure->Rank(*input);
+  DBTUNE_RETURN_IF_ERROR(importance.status());
+  report.selected_knobs = TopKnobs(*importance, options.tuning_knobs);
+  for (size_t knob : report.selected_knobs) {
+    report.selected_knob_names.push_back(
+        simulator->space().knob(knob).name());
+  }
+
+  // --- Step 3: optimize over the pruned space, with RGPE when history
+  // is available.
+  TuningEnvironment env(simulator, report.selected_knobs);
+  OptimizerOptions optimizer_options;
+  optimizer_options.seed = options.seed ^ 0xAD;
+  std::unique_ptr<Optimizer> optimizer;
+  if (repository != nullptr && !repository->empty()) {
+    optimizer = std::make_unique<RgpeOptimizer>(
+        env.space(), optimizer_options, repository,
+        options.optimizer == OptimizerType::kMixedKernelBo
+            ? TransferBase::kMixedKernelBo
+            : TransferBase::kSmac);
+  } else {
+    optimizer =
+        CreateOptimizer(options.optimizer, env.space(), optimizer_options);
+  }
+  report.session =
+      RunTuningSession(&env, optimizer.get(), options.tuning_iterations);
+
+  // --- Assemble the recommendation.
+  report.best_objective = env.best_objective();
+  report.improvement_percent = env.ImprovementPercent();
+  Configuration full = simulator->EffectiveDefault();
+  const Configuration& best_sub = env.best_config();
+  for (size_t i = 0; i < report.selected_knobs.size(); ++i) {
+    full[report.selected_knobs[i]] = best_sub[i];
+  }
+  report.best_config = full;
+  return report;
+}
+
+}  // namespace dbtune

@@ -1,0 +1,54 @@
+#ifndef DBTUNE_CORE_ADVISOR_H_
+#define DBTUNE_CORE_ADVISOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tuning_session.h"
+#include "dbms/simulator.h"
+#include "importance/importance.h"
+#include "transfer/repository.h"
+
+namespace dbtune {
+
+/// Advisor options: the paper's recommended end-to-end "path" (SHAP knob
+/// selection + SMAC optimizer + RGPE transfer when history exists).
+struct AdvisorOptions {
+  /// Samples collected (LHS) for the knob-selection step.
+  size_t importance_samples = 400;
+  /// Knobs kept after ranking.
+  size_t tuning_knobs = 20;
+  MeasurementType measurement = MeasurementType::kShap;
+  OptimizerType optimizer = OptimizerType::kSmac;
+  /// Tuning iterations after knob selection.
+  size_t tuning_iterations = 100;
+  uint64_t seed = 5;
+};
+
+/// Advisor outcome: the recommendation plus the evidence behind it.
+struct AdvisorReport {
+  /// Selected knob indices (into the full catalog), importance order.
+  std::vector<size_t> selected_knobs;
+  /// Names of the selected knobs.
+  std::vector<std::string> selected_knob_names;
+  /// Best configuration found (full space).
+  Configuration best_config;
+  double default_objective = 0.0;
+  double best_objective = 0.0;
+  double improvement_percent = 0.0;
+  SessionResult session;
+};
+
+/// End-to-end tuning following the paper's recommended design: collect
+/// observations, rank knobs (SHAP by default), prune the space, then
+/// optimize (SMAC by default), optionally accelerated by RGPE over
+/// `repository`. One call = the full Figure 2 workflow.
+Result<AdvisorReport> TuneDbms(DbmsSimulator* simulator,
+                               const AdvisorOptions& options,
+                               const ObservationRepository* repository =
+                                   nullptr);
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_CORE_ADVISOR_H_

@@ -1,0 +1,34 @@
+#ifndef DBTUNE_CORE_METRICS_H_
+#define DBTUNE_CORE_METRICS_H_
+
+#include <optional>
+#include <vector>
+
+#include "dbms/workload.h"
+
+namespace dbtune {
+
+/// Performance enhancement (paper Eq. 4) of a transfer run over its base:
+/// positive means the transfer found a better configuration within the
+/// same budget. Objectives are raw values; `kind` fixes the direction.
+double PerformanceEnhancement(double base_objective, double transfer_objective,
+                              ObjectiveKind kind);
+
+/// Speedup (paper Eq. 5): iterations the base optimizer needed to reach
+/// its best, divided by the iterations the transfer run needed to beat
+/// that value. `std::nullopt` ("×" in Table 8) when the transfer run
+/// never beats the base best. Traces are best-so-far raw objectives per
+/// iteration.
+std::optional<double> TransferSpeedup(
+    const std::vector<double>& base_objective_trace,
+    const std::vector<double>& transfer_objective_trace, ObjectiveKind kind);
+
+/// Average rank per method across scenarios (Tables 6 and 7):
+/// `values[s][m]` is method m's result in scenario s; ranks are 1 = best.
+/// Ties receive the average of their positions.
+std::vector<double> AverageRanks(const std::vector<std::vector<double>>& values,
+                                 bool higher_is_better);
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_CORE_METRICS_H_

@@ -1,0 +1,69 @@
+#include "core/tuning_session.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+namespace {
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
+                               size_t iterations, SessionControls controls) {
+  DBTUNE_CHECK(env != nullptr && optimizer != nullptr);
+  DBTUNE_CHECK(optimizer->space().dimension() == env->space().dimension());
+  optimizer->SetReferenceScore(env->default_score());
+
+  SessionResult result;
+  result.improvement_trace.reserve(iterations);
+  result.objective_trace.reserve(iterations);
+  const double sim_seconds_start = env->simulator().simulated_seconds();
+
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    const double t0 = NowSeconds();
+    const Configuration config = optimizer->Suggest();
+    const double t1 = NowSeconds();
+
+    const Observation obs = env->Evaluate(config);
+
+    const double t2 = NowSeconds();
+    optimizer->ObserveWithMetrics(obs.config, obs.score,
+                                  obs.internal_metrics);
+    const double t3 = NowSeconds();
+
+    const double overhead = (t1 - t0) + (t3 - t2);
+    result.algorithm_overhead_seconds += overhead;
+    if (controls.record_overhead) {
+      result.per_iteration_overhead.push_back(overhead);
+    }
+    result.improvement_trace.push_back(env->ImprovementPercent());
+    result.objective_trace.push_back(env->best_objective());
+  }
+
+  result.final_improvement = env->ImprovementPercent();
+  result.final_objective = env->best_objective();
+  result.best_iteration = env->best_iteration();
+  result.simulated_evaluation_seconds =
+      env->simulator().simulated_seconds() - sim_seconds_start;
+  return result;
+}
+
+SessionResult RunTuningSession(DbmsSimulator* simulator,
+                               const std::vector<size_t>& knob_indices,
+                               OptimizerType optimizer_type, size_t iterations,
+                               uint64_t seed, SessionControls controls) {
+  TuningEnvironment env(simulator, knob_indices);
+  OptimizerOptions options;
+  options.seed = seed;
+  std::unique_ptr<Optimizer> optimizer =
+      CreateOptimizer(optimizer_type, env.space(), options);
+  return RunTuningSession(&env, optimizer.get(), iterations, controls);
+}
+
+}  // namespace dbtune

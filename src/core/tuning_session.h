@@ -1,0 +1,54 @@
+#ifndef DBTUNE_CORE_TUNING_SESSION_H_
+#define DBTUNE_CORE_TUNING_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "dbms/environment.h"
+#include "optimizer/optimizer.h"
+
+namespace dbtune {
+
+/// Outcome of one tuning session (the unit of all paper experiments).
+struct SessionResult {
+  /// Best-so-far improvement (%) against the default after each iteration.
+  std::vector<double> improvement_trace;
+  /// Best-so-far raw objective after each iteration.
+  std::vector<double> objective_trace;
+  double final_improvement = 0.0;
+  double final_objective = 0.0;
+  /// 1-based iteration at which the best configuration was found.
+  size_t best_iteration = 0;
+  /// Total optimizer overhead (wall-clock seconds spent in Suggest +
+  /// Observe, excluding evaluation) — Figure 9's quantity.
+  double algorithm_overhead_seconds = 0.0;
+  /// Per-iteration overhead (seconds), recorded when requested.
+  std::vector<double> per_iteration_overhead;
+  /// Simulated DBMS-side seconds (restarts + stress tests).
+  double simulated_evaluation_seconds = 0.0;
+};
+
+/// Extra controls for `RunTuningSession`.
+struct SessionControls {
+  /// Record per-iteration optimizer overhead (Figure 9).
+  bool record_overhead = false;
+};
+
+/// Drives `iterations` suggest/evaluate/observe rounds of `optimizer`
+/// against `env` (the paper's Figure 2 workflow loop) and reports the
+/// traces every experiment consumes. The optimizer must have been built
+/// over `env->space()`.
+SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
+                               size_t iterations,
+                               SessionControls controls = {});
+
+/// Convenience: builds the environment over `knob_indices`, creates the
+/// optimizer, and runs the session.
+SessionResult RunTuningSession(DbmsSimulator* simulator,
+                               const std::vector<size_t>& knob_indices,
+                               OptimizerType optimizer_type, size_t iterations,
+                               uint64_t seed, SessionControls controls = {});
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_CORE_TUNING_SESSION_H_

@@ -1,0 +1,101 @@
+#include "dbms/environment.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+namespace {
+std::vector<size_t> AllIndices(size_t n) {
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  return idx;
+}
+}  // namespace
+
+TuningEnvironment::TuningEnvironment(DbmsSimulator* simulator)
+    : TuningEnvironment(simulator,
+                        AllIndices(simulator->space().dimension())) {}
+
+TuningEnvironment::TuningEnvironment(DbmsSimulator* simulator,
+                                     std::vector<size_t> knob_indices)
+    : simulator_(simulator),
+      knob_indices_(std::move(knob_indices)),
+      subspace_(simulator->space().Project(knob_indices_)),
+      base_config_(simulator->EffectiveDefault()) {
+  DBTUNE_CHECK(simulator_ != nullptr);
+  // Measure the default before tuning begins.
+  EvaluationResult def = simulator_->Evaluate(base_config_);
+  DBTUNE_CHECK_MSG(!def.failed, "default configuration must not crash");
+  default_objective_ = def.objective;
+  default_score_ = ScoreFromObjective(def.objective);
+  worst_score_ = default_score_;
+  best_score_ = default_score_;
+  best_objective_ = default_objective_;
+  // The default in subspace coordinates seeds `best_config_`.
+  std::vector<double> sub(knob_indices_.size());
+  for (size_t i = 0; i < knob_indices_.size(); ++i) {
+    sub[i] = base_config_[knob_indices_[i]];
+  }
+  best_config_ = Configuration(std::move(sub));
+}
+
+double TuningEnvironment::ScoreFromObjective(double objective) const {
+  if (simulator_->workload().objective == ObjectiveKind::kThroughput) {
+    return objective;
+  }
+  return -objective;
+}
+
+Configuration TuningEnvironment::ToFullConfiguration(
+    const Configuration& sub_config) const {
+  DBTUNE_CHECK(sub_config.size() == knob_indices_.size());
+  Configuration full = base_config_;
+  for (size_t i = 0; i < knob_indices_.size(); ++i) {
+    full[knob_indices_[i]] = sub_config[i];
+  }
+  return full;
+}
+
+Observation TuningEnvironment::Evaluate(const Configuration& sub_config) {
+  const Configuration clipped = subspace_.Clip(sub_config);
+  EvaluationResult result = simulator_->Evaluate(ToFullConfiguration(clipped));
+
+  Observation obs;
+  obs.config = clipped;
+  obs.failed = result.failed;
+  obs.internal_metrics = std::move(result.internal_metrics);
+  if (result.failed) {
+    // The paper assigns failed configurations the worst performance ever
+    // seen to avoid scaling problems.
+    obs.score = worst_score_;
+    obs.objective = 0.0;
+  } else {
+    obs.objective = result.objective;
+    obs.score = ScoreFromObjective(result.objective);
+    worst_score_ = std::min(worst_score_, obs.score);
+    if (obs.score > best_score_) {
+      best_score_ = obs.score;
+      best_objective_ = obs.objective;
+      best_iteration_ = history_.size() + 1;
+      best_config_ = clipped;
+    }
+  }
+  history_.push_back(obs);
+  return history_.back();
+}
+
+double TuningEnvironment::ImprovementPercent() const {
+  return ImprovementPercentOf(best_objective_);
+}
+
+double TuningEnvironment::ImprovementPercentOf(double objective) const {
+  DBTUNE_CHECK(default_objective_ > 0.0);
+  if (simulator_->workload().objective == ObjectiveKind::kThroughput) {
+    return (objective - default_objective_) / default_objective_ * 100.0;
+  }
+  return (default_objective_ - objective) / default_objective_ * 100.0;
+}
+
+}  // namespace dbtune

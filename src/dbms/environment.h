@@ -1,0 +1,108 @@
+#ifndef DBTUNE_DBMS_ENVIRONMENT_H_
+#define DBTUNE_DBMS_ENVIRONMENT_H_
+
+#include <vector>
+
+#include "dbms/simulator.h"
+#include "knobs/configuration_space.h"
+
+namespace dbtune {
+
+/// One tuning observation, in maximize direction.
+struct Observation {
+  /// The configuration as suggested (in the tuned subspace).
+  Configuration config;
+  /// Maximize-direction score: throughput for OLTP, negated latency for
+  /// OLAP. For failed configurations this is the worst score seen so far
+  /// (the paper's protocol to avoid scaling problems).
+  double score = 0.0;
+  /// Raw objective value (tps or seconds); 0 when failed.
+  double objective = 0.0;
+  bool failed = false;
+  /// DBMS internal metrics collected during the stress test.
+  std::vector<double> internal_metrics;
+};
+
+/// Optimizer-facing view of one tuning task: a simulator plus the paper's
+/// evaluation protocol. Handles knob-subset tuning (unselected knobs stay
+/// at the deployment default), failure substitution, and bookkeeping of
+/// the best configuration found.
+///
+/// The environment measures the default configuration once at
+/// construction, as a real tuning session would before its first
+/// iteration.
+class TuningEnvironment {
+ public:
+  /// Tunes every knob of the simulator's space.
+  explicit TuningEnvironment(DbmsSimulator* simulator);
+
+  /// Tunes only `knob_indices` (into the simulator's space); all other
+  /// knobs are pinned at the effective default.
+  TuningEnvironment(DbmsSimulator* simulator,
+                    std::vector<size_t> knob_indices);
+
+  TuningEnvironment(const TuningEnvironment&) = delete;
+  TuningEnvironment& operator=(const TuningEnvironment&) = delete;
+
+  /// The subspace the optimizer works in.
+  const ConfigurationSpace& space() const { return subspace_; }
+
+  DbmsSimulator& simulator() { return *simulator_; }
+  const DbmsSimulator& simulator() const { return *simulator_; }
+
+  /// Runs one tuning iteration: applies the (subspace) configuration,
+  /// replays the workload, and returns the observation. Appends to
+  /// `history()`.
+  Observation Evaluate(const Configuration& sub_config);
+
+  /// Maximize-direction score of the default configuration.
+  double default_score() const { return default_score_; }
+  /// Raw objective of the default configuration.
+  double default_objective() const { return default_objective_; }
+
+  /// Best score over all iterations so far (default when none succeeded).
+  double best_score() const { return best_score_; }
+  /// Raw objective of the best configuration (default's when none).
+  double best_objective() const { return best_objective_; }
+  /// 1-based iteration at which the best score was found; 0 when no
+  /// iteration improved over nothing (i.e. no evaluations yet).
+  size_t best_iteration() const { return best_iteration_; }
+  /// Best configuration found so far (subspace coordinates).
+  const Configuration& best_config() const { return best_config_; }
+
+  /// All observations in iteration order.
+  const std::vector<Observation>& history() const { return history_; }
+  size_t iterations() const { return history_.size(); }
+
+  /// Performance improvement of the best configuration against the
+  /// default, in percent: (best-def)/def for throughput workloads,
+  /// (def-best)/def for latency workloads.
+  double ImprovementPercent() const;
+
+  /// Improvement percent of an arbitrary raw objective value vs. default.
+  double ImprovementPercentOf(double objective) const;
+
+  /// Converts a raw objective into maximize direction for this workload.
+  double ScoreFromObjective(double objective) const;
+
+ private:
+  Configuration ToFullConfiguration(const Configuration& sub_config) const;
+
+  DbmsSimulator* simulator_;
+  std::vector<size_t> knob_indices_;
+  ConfigurationSpace subspace_;
+  Configuration base_config_;  // effective default (full space)
+
+  double default_objective_ = 0.0;
+  double default_score_ = 0.0;
+  double worst_score_ = 0.0;
+  double best_score_ = 0.0;
+  double best_objective_ = 0.0;
+  size_t best_iteration_ = 0;
+  Configuration best_config_;
+  std::vector<Observation> history_;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_DBMS_ENVIRONMENT_H_

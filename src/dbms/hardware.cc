@@ -1,0 +1,27 @@
+#include "dbms/hardware.h"
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+namespace {
+const HardwareProfile kInstances[] = {
+    {HardwareInstance::kA, "A", 4, 8.0, 0.55},
+    {HardwareInstance::kB, "B", 8, 16.0, 1.00},
+    {HardwareInstance::kC, "C", 16, 32.0, 1.75},
+    {HardwareInstance::kD, "D", 32, 64.0, 3.00},
+};
+}  // namespace
+
+const HardwareProfile& GetHardwareProfile(HardwareInstance id) {
+  const size_t index = static_cast<size_t>(id);
+  DBTUNE_CHECK(index < sizeof(kInstances) / sizeof(kInstances[0]));
+  return kInstances[index];
+}
+
+std::vector<HardwareInstance> AllHardwareInstances() {
+  return {HardwareInstance::kA, HardwareInstance::kB, HardwareInstance::kC,
+          HardwareInstance::kD};
+}
+
+}  // namespace dbtune

@@ -1,0 +1,31 @@
+#ifndef DBTUNE_DBMS_HARDWARE_H_
+#define DBTUNE_DBMS_HARDWARE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbtune {
+
+/// The four DBMS instance types of the paper's Table 5.
+enum class HardwareInstance { kA = 0, kB, kC, kD };
+
+/// Hardware configuration of a database instance.
+struct HardwareProfile {
+  HardwareInstance id;
+  const char* name;
+  int cpu_cores;
+  double ram_gb;
+  /// Throughput multiplier relative to instance B (the paper's default
+  /// deployment target).
+  double performance_scale;
+};
+
+/// Profile for an instance type.
+const HardwareProfile& GetHardwareProfile(HardwareInstance id);
+
+/// All four instance types.
+std::vector<HardwareInstance> AllHardwareInstances();
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_DBMS_HARDWARE_H_

@@ -1,0 +1,336 @@
+#include "dbms/response_surface.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace dbtune {
+
+namespace {
+
+double GaussBump(double u, double center, double width) {
+  const double d = (u - center) / width;
+  return std::exp(-0.5 * d * d);
+}
+
+}  // namespace
+
+ResponseSurface::ResponseSurface(const ConfigurationSpace* space,
+                                 const WorkloadProfile& profile)
+    : space_(space), max_gain_(profile.max_gain) {
+  DBTUNE_CHECK(space_ != nullptr);
+  const size_t dim = space_->dimension();
+  Rng rng(profile.surface_seed);
+  default_unit_ = space_->ToUnit(space_->Default());
+
+  // --- Rank the knobs: a seeded permutation with categorical knobs
+  // guaranteed representation near the top (the heterogeneity study needs
+  // impactful categorical knobs).
+  importance_ranking_ = rng.Permutation(dim);
+  {
+    // Two windows: a handful of categorical knobs among the very top
+    // ranks (MySQL's flush policies and commit modes genuinely matter),
+    // and broader representation in the top 30.
+    auto ensure_categorical = [&](size_t window, size_t want) {
+      size_t have = 0;
+      for (size_t r = 0; r < window; ++r) {
+        if (space_->knob(importance_ranking_[r]).is_categorical()) ++have;
+      }
+      for (size_t r = window; r < dim && have < want; ++r) {
+        if (!space_->knob(importance_ranking_[r]).is_categorical()) continue;
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const size_t slot = rng.Index(window);
+          if (!space_->knob(importance_ranking_[slot]).is_categorical()) {
+            std::swap(importance_ranking_[slot], importance_ranking_[r]);
+            ++have;
+            break;
+          }
+        }
+      }
+    };
+    ensure_categorical(std::min<size_t>(8, dim), 3);
+    ensure_categorical(std::min<size_t>(30, dim), 8);
+  }
+
+  // --- Assign decaying weights and shapes.
+  const double tau =
+      static_cast<double>(profile.effective_important_knobs) / 1.6;
+  effects_.resize(dim);
+  for (size_t r = 0; r < dim; ++r) {
+    KnobEffect& e = effects_[r];
+    e.knob_index = importance_ranking_[r];
+    const Knob& knob = space_->knob(e.knob_index);
+    const double decay = std::exp(-static_cast<double>(r) / tau);
+    // Long tail: even "unimportant" knobs keep a whisper of effect.
+    e.weight = std::max(decay, 0.004) * (0.7 + 0.6 * rng.Uniform());
+
+    // Defaults are robust: the deeper into the tail, the likelier a knob
+    // is default-optimal ("risky" to touch). This keeps the fraction of
+    // random configurations that beat the default realistically small.
+    const double tail_fraction =
+        static_cast<double>(r) / static_cast<double>(dim);
+
+    if (knob.is_categorical()) {
+      e.shape = EffectShape::kCategorical;
+      const size_t k = knob.num_categories();
+      const size_t default_cat = static_cast<size_t>(knob.default_value());
+      e.category_effects.assign(k, 0.0);
+      // Top-ranked categorical knobs often have a category better than the
+      // default; tail ones rarely do. Effects are drawn independently per
+      // category, so they are non-ordinal in the index.
+      const bool improvable = rng.Bernoulli(0.6 - 0.35 * tail_fraction);
+      for (size_t c = 0; c < k; ++c) {
+        if (c == default_cat) continue;
+        e.category_effects[c] = -rng.Uniform(0.2, 1.0);
+      }
+      if (improvable) {
+        // Promote one non-default category to a gain.
+        size_t best = default_cat;
+        while (best == default_cat) best = rng.Index(k);
+        e.category_effects[best] = rng.Uniform(0.5, 1.0);
+      }
+      continue;
+    }
+
+    // Numeric knob: pick the effect shape. Top ranks are ~55% improvable
+    // bumps; the share decays along the tail in favour of risky
+    // (default-optimal) knobs — the mix that drives the SHAP-vs-variance
+    // separation.
+    const double p_improvable = 0.58 - 0.38 * tail_fraction;
+    const double p_monotonic = 0.04;
+    const double roll = rng.Uniform();
+    const double ud = default_unit_[e.knob_index];
+    if (roll < p_improvable) {
+      e.shape = EffectShape::kImprovableBump;
+      // Optimum well away from the default, with a narrow good region:
+      // gains exist but random sampling rarely lands on them.
+      do {
+        e.optimum = rng.Uniform(0.05, 0.95);
+      } while (std::abs(e.optimum - ud) < 0.25);
+      e.width = rng.Uniform(0.04, 0.12);
+    } else if (roll < p_improvable + p_monotonic) {
+      e.shape = EffectShape::kMonotonic;
+      e.optimum = rng.Bernoulli(0.5) ? 1.0 : -1.0;  // trend direction
+    } else {
+      e.shape = EffectShape::kRiskyQuadratic;
+      e.width = rng.Uniform(0.3, 0.8);  // how fast deviation hurts
+    }
+  }
+
+  // --- Pairwise saddle interactions among the impactful knobs.
+  const size_t top = std::min<size_t>(
+      std::max<size_t>(profile.effective_important_knobs, 6), dim);
+  // A substantial share of the tunable gain lives in interactions: the
+  // optimal value of one knob depends on another (e.g. tmp_table_size vs
+  // innodb_thread_concurrency in the paper). Saddle terms have vanishing
+  // marginals, which per-dimension models (TPE) cannot represent.
+  const size_t num_interactions = std::max<size_t>(4, (2 * top) / 3);
+  for (size_t i = 0; i < num_interactions; ++i) {
+    Interaction inter;
+    size_t ra = rng.Index(top);
+    size_t rb = rng.Index(top);
+    for (int attempt = 0; attempt < 16 && rb == ra; ++attempt) {
+      rb = rng.Index(top);
+    }
+    if (ra == rb) continue;
+    inter.knob_a = importance_ranking_[ra];
+    inter.knob_b = importance_ranking_[rb];
+    inter.weight = rng.Uniform(0.6, 1.2) *
+                   std::exp(-static_cast<double>(std::min(ra, rb)) / tau);
+    if (rng.Bernoulli(0.3)) {
+      inter.kind = Interaction::Kind::kSaddle;
+      const double da = 2.0 * default_unit_[inter.knob_a] - 1.0;
+      const double db = 2.0 * default_unit_[inter.knob_b] - 1.0;
+      inter.default_offset = da * db;
+    } else {
+      inter.kind = Interaction::Kind::kJointBump;
+      inter.center_a = rng.Uniform(0.1, 0.9);
+      inter.center_b = rng.Uniform(0.1, 0.9);
+      // The second mode coincides with the first (single sweet spot).
+      inter.center_a2 = inter.center_a;
+      inter.center_b2 = inter.center_b;
+      inter.width = rng.Uniform(0.20, 0.35);
+      const double da = default_unit_[inter.knob_a];
+      const double db = default_unit_[inter.knob_b];
+      inter.default_offset =
+          0.5 * (GaussBump(da, inter.center_a, inter.width) *
+                     GaussBump(db, inter.center_b, inter.width) +
+                 GaussBump(da, inter.center_a2, inter.width) *
+                     GaussBump(db, inter.center_b2, inter.width));
+    }
+    interactions_.push_back(inter);
+  }
+
+  // --- Normalize: the maximum achievable positive score equals max_gain.
+  double achievable = 0.0;
+  for (size_t r = 0; r < dim; ++r) {
+    const KnobEffect& e = effects_[r];
+    switch (e.shape) {
+      case EffectShape::kImprovableBump: {
+        const double ud = default_unit_[e.knob_index];
+        achievable +=
+            e.weight *
+            (1.0 - GaussBump(ud, e.optimum, e.width) -
+             0.30 * std::min(std::abs(e.optimum - ud) / 0.5, 1.0));
+        break;
+      }
+      case EffectShape::kMonotonic: {
+        const double ud = default_unit_[e.knob_index];
+        achievable +=
+            e.weight * (e.optimum > 0 ? (1.0 - ud) : ud);
+        break;
+      }
+      case EffectShape::kCategorical: {
+        double best = 0.0;
+        for (double c : e.category_effects) best = std::max(best, c);
+        achievable += e.weight * best;
+        break;
+      }
+      case EffectShape::kRiskyQuadratic:
+        break;  // nothing to gain
+    }
+  }
+  for (const Interaction& inter : interactions_) {
+    if (inter.kind == Interaction::Kind::kSaddle) {
+      achievable += inter.weight * (1.0 + std::abs(inter.default_offset));
+    } else {
+      achievable += inter.weight * (1.0 - inter.default_offset);
+    }
+  }
+  DBTUNE_CHECK(achievable > 0.0);
+  const double scale = profile.max_gain / achievable;
+  for (KnobEffect& e : effects_) e.weight *= scale;
+  for (Interaction& inter : interactions_) inter.weight *= scale;
+}
+
+double ResponseSurface::AchievableGain(size_t effect_rank) const {
+  DBTUNE_CHECK(effect_rank < effects_.size());
+  const KnobEffect& e = effects_[effect_rank];
+  const double ud = default_unit_[e.knob_index];
+  switch (e.shape) {
+    case EffectShape::kImprovableBump:
+      return e.weight *
+             (1.0 - GaussBump(ud, e.optimum, e.width) -
+              0.30 * std::min(std::abs(e.optimum - ud) / 0.5, 1.0));
+    case EffectShape::kMonotonic:
+      return e.weight * (e.optimum > 0 ? (1.0 - ud) : ud);
+    case EffectShape::kCategorical: {
+      double best = 0.0;
+      for (double c : e.category_effects) best = std::max(best, c);
+      return e.weight * best;
+    }
+    case EffectShape::kRiskyQuadratic:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+std::vector<size_t> ResponseSurface::TunabilityRanking() const {
+  std::vector<double> gains(space_->dimension(), 0.0);
+  for (size_t r = 0; r < effects_.size(); ++r) {
+    gains[effects_[r].knob_index] = AchievableGain(r);
+  }
+  // Interactions contribute achievable gain to both partners (half each).
+  for (const Interaction& inter : interactions_) {
+    double gain = 0.0;
+    if (inter.kind == Interaction::Kind::kSaddle) {
+      gain = inter.weight * (1.0 + std::abs(inter.default_offset));
+    } else {
+      gain = inter.weight * (1.0 - inter.default_offset);
+    }
+    gains[inter.knob_a] += 0.5 * gain;
+    gains[inter.knob_b] += 0.5 * gain;
+  }
+  std::vector<size_t> order(space_->dimension());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return gains[a] > gains[b];
+  });
+  return order;
+}
+
+double ResponseSurface::KnobContribution(size_t effect_rank,
+                                         const std::vector<double>& unit) const {
+  DBTUNE_CHECK(effect_rank < effects_.size());
+  const KnobEffect& e = effects_[effect_rank];
+  const double u = unit[e.knob_index];
+  const double ud = default_unit_[e.knob_index];
+  switch (e.shape) {
+    case EffectShape::kImprovableBump: {
+      // Gaussian gain region plus a mild off-default penalty: perturbing a
+      // tuned subsystem degrades it slightly unless the sweet spot is hit
+      // (keeps defaults robust against random sampling).
+      const double gain =
+          GaussBump(u, e.optimum, e.width) - GaussBump(ud, e.optimum, e.width);
+      const double penalty =
+          0.30 * std::min(std::abs(u - ud) / 0.5, 1.0);
+      return e.weight * (gain - penalty);
+    }
+    case EffectShape::kMonotonic:
+      return e.weight * (e.optimum > 0 ? (u - ud) : (ud - u));
+    case EffectShape::kRiskyQuadratic: {
+      const double d = (u - ud) / e.width;
+      return -e.weight * std::min(d * d, 1.5);
+    }
+    case EffectShape::kCategorical: {
+      const Knob& knob = space_->knob(e.knob_index);
+      // `unit` stores the encoded category; decode back to the index.
+      const double native = knob.Decode(u);
+      const size_t cat = static_cast<size_t>(native);
+      DBTUNE_CHECK(cat < e.category_effects.size());
+      return e.weight * e.category_effects[cat];
+    }
+  }
+  return 0.0;
+}
+
+double ResponseSurface::InteractionContribution(
+    size_t index, const std::vector<double>& unit) const {
+  DBTUNE_CHECK(index < interactions_.size());
+  const Interaction& inter = interactions_[index];
+  const double ua = unit[inter.knob_a];
+  const double ub = unit[inter.knob_b];
+  if (inter.kind == Interaction::Kind::kSaddle) {
+    const double a = 2.0 * ua - 1.0;
+    const double b = 2.0 * ub - 1.0;
+    return inter.weight * (a * b - inter.default_offset);
+  }
+  // Mean of the two modes: with coincident centers this is exactly the
+  // single joint bump, and the achievable gain stays `weight`.
+  const double joint =
+      0.5 * (GaussBump(ua, inter.center_a, inter.width) *
+                 GaussBump(ub, inter.center_b, inter.width) +
+             GaussBump(ua, inter.center_a2, inter.width) *
+                 GaussBump(ub, inter.center_b2, inter.width));
+  return inter.weight * (joint - inter.default_offset);
+}
+
+double ResponseSurface::ScoreFromUnit(const std::vector<double>& unit) const {
+  DBTUNE_CHECK(unit.size() == space_->dimension());
+  double score = 0.0;
+  for (size_t r = 0; r < effects_.size(); ++r) {
+    score += KnobContribution(r, unit);
+  }
+  for (size_t i = 0; i < interactions_.size(); ++i) {
+    score += InteractionContribution(i, unit);
+  }
+  return score;
+}
+
+double ResponseSurface::Score(const Configuration& config) const {
+  return ScoreFromUnit(space_->ToUnit(config));
+}
+
+std::vector<double> ResponseSurface::GroupEffects(
+    const std::vector<double>& unit, size_t count) const {
+  DBTUNE_CHECK(count > 0);
+  std::vector<double> groups(count, 0.0);
+  for (size_t r = 0; r < effects_.size(); ++r) {
+    groups[r % count] += KnobContribution(r, unit);
+  }
+  return groups;
+}
+
+}  // namespace dbtune

@@ -1,0 +1,150 @@
+#ifndef DBTUNE_DBMS_RESPONSE_SURFACE_H_
+#define DBTUNE_DBMS_RESPONSE_SURFACE_H_
+
+#include <vector>
+
+#include "dbms/workload.h"
+#include "knobs/configuration_space.h"
+
+namespace dbtune {
+
+/// Synthetic configuration-to-performance surface for one workload.
+///
+/// The surface is a deterministic function of the workload's seed and
+/// models the phenomena the paper's evaluation hinges on:
+///   * sparsity       — importance decays exponentially with a
+///                      workload-specific rate, so only a few knobs carry
+///                      most of the tunable variance;
+///   * robust defaults— a sizeable share of impactful knobs are "risky":
+///                      the default value is already optimal and any change
+///                      hurts (high variance, zero tunability), separating
+///                      SHAP from variance-based measurements;
+///   * interactions   — saddle-shaped pairwise terms whose marginals vanish,
+///                      which independent-density optimizers (TPE) cannot
+///                      model;
+///   * heterogeneity  — categorical knobs have non-ordinal per-category
+///                      effects, so ordinal encodings (vanilla BO's RBF
+///                      kernel) mis-model them while Hamming kernels do not.
+///
+/// `Score` returns a log-scale effect: a configuration's objective is
+/// base * exp(Score) for throughput or base / exp(Score) for latency.
+/// The default configuration scores exactly 0.
+class ResponseSurface {
+ public:
+  /// How a knob's effect responds to moving it off the default.
+  enum class EffectShape {
+    /// Gaussian bump away from the default: there is a better region.
+    kImprovableBump,
+    /// Linear trend: pushing one direction gains, the other loses.
+    kMonotonic,
+    /// Default-optimal parabola: any change degrades performance.
+    kRiskyQuadratic,
+    /// Categorical: arbitrary non-ordinal per-category effects.
+    kCategorical,
+  };
+
+  /// One knob's contribution to the surface.
+  struct KnobEffect {
+    size_t knob_index = 0;
+    /// Scale of this knob's contribution (log units).
+    double weight = 0.0;
+    EffectShape shape = EffectShape::kRiskyQuadratic;
+    /// Bump center / trend direction parameter, in unit coordinates.
+    double optimum = 0.5;
+    /// Bump width in unit coordinates.
+    double width = 0.2;
+    /// Per-category effect (categorical shape only); entry for the default
+    /// category is 0.
+    std::vector<double> category_effects;
+  };
+
+  /// Pairwise knob interaction. Two kinds:
+  ///  * saddle — weight * product of centered unit values (optimal at two
+  ///    opposite corners; marginals vanish);
+  ///  * joint bump — gain only when BOTH knobs sit near one of two joint
+  ///    sweet spots (the paper's tmp_table_size x innodb_thread_concurrency
+  ///    dependency shape). Two distinct modes make the good values of the
+  ///    two knobs *conditionally* dependent: per-dimension density models
+  ///    (TPE) and uniform crossover (GA) recombine values from different
+  ///    modes and miss the gain, while tree surrogates keep them apart.
+  /// Both are offset so the default configuration contributes 0.
+  struct Interaction {
+    enum class Kind { kSaddle, kJointBump };
+    size_t knob_a = 0;
+    size_t knob_b = 0;
+    double weight = 0.0;
+    Kind kind = Kind::kSaddle;
+    double center_a = 0.5;
+    double center_b = 0.5;
+    /// Second mode of a joint-bump interaction.
+    double center_a2 = 0.5;
+    double center_b2 = 0.5;
+    double width = 0.2;
+    double default_offset = 0.0;
+  };
+
+  /// Builds the surface for `profile` over `space` (borrowed; must outlive
+  /// the surface). Fully determined by `profile.surface_seed`.
+  ResponseSurface(const ConfigurationSpace* space,
+                  const WorkloadProfile& profile);
+
+  /// Log-scale effect of a configuration. 0 for the default configuration;
+  /// positive is better. Deterministic (no noise).
+  double Score(const Configuration& config) const;
+
+  /// Same over an already unit-encoded point.
+  double ScoreFromUnit(const std::vector<double>& unit) const;
+
+  /// Contribution of a single knob at the given unit position (used by
+  /// tests and by ground-truth analyses).
+  double KnobContribution(size_t effect_rank,
+                          const std::vector<double>& unit) const;
+
+  /// Contribution of one interaction term at the given unit position.
+  double InteractionContribution(size_t index,
+                                 const std::vector<double>& unit) const;
+
+  /// Ground-truth knob indices ordered by descending effect weight
+  /// (variance-style importance: risky knobs count).
+  const std::vector<size_t>& importance_ranking() const {
+    return importance_ranking_;
+  }
+
+  /// Ground-truth knob indices ordered by descending achievable *gain*
+  /// over the default (tunability-style importance: risky knobs score 0).
+  /// This is the ranking SHAP estimates.
+  std::vector<size_t> TunabilityRanking() const;
+
+  /// Achievable gain of the effect at `effect_rank` (0 for risky knobs).
+  double AchievableGain(size_t effect_rank) const;
+
+  /// Per-effect (ranked) weights, aligned with `importance_ranking()`.
+  const std::vector<KnobEffect>& effects() const { return effects_; }
+  const std::vector<Interaction>& interactions() const {
+    return interactions_;
+  }
+
+  /// Aggregates knob effects into `count` subsystem groups (rank mod
+  /// count); feeds the simulator's internal-metric model.
+  std::vector<double> GroupEffects(const std::vector<double>& unit,
+                                   size_t count) const;
+
+  /// Largest achievable Score over the space (analytic upper bound used
+  /// for calibration and tests).
+  double max_gain() const { return max_gain_; }
+
+ private:
+  const ConfigurationSpace* space_;
+  double max_gain_;
+  /// Effects ordered by descending weight; effects_[r].knob_index ==
+  /// importance_ranking_[r].
+  std::vector<KnobEffect> effects_;
+  std::vector<Interaction> interactions_;
+  std::vector<size_t> importance_ranking_;
+  /// Unit encoding of the space's default configuration.
+  std::vector<double> default_unit_;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_DBMS_RESPONSE_SURFACE_H_

@@ -1,0 +1,168 @@
+#include "dbms/simulator.h"
+
+#include <cmath>
+
+#include "knobs/catalog.h"
+#include "util/logging.h"
+
+namespace dbtune {
+
+namespace {
+
+constexpr double kRestartSeconds = 30.0;
+constexpr double kStressTestSeconds = 180.0;
+constexpr double kFailedProbeSeconds = 45.0;
+constexpr double kNoiseSigma = 0.04;
+// Fraction of instance RAM the server may use before it fails to start.
+constexpr double kMemoryBudgetFraction = 0.90;
+// How many sessions actively hold per-session buffers during the stress
+// test (OLTP-Bench drives a bounded number of client terminals).
+constexpr double kActiveSessions = 64.0;
+
+// Fixed global seed for the internal-metric projection so metric semantics
+// are identical across workloads and hardware (required for workload
+// mapping to compare them).
+constexpr uint64_t kMetricProjectionSeed = 0xDBCAFE01;
+constexpr size_t kEffectGroups = 8;
+
+}  // namespace
+
+DbmsSimulator::DbmsSimulator(WorkloadId workload, HardwareInstance hardware,
+                             uint64_t seed)
+    : DbmsSimulator(MySqlKnobCatalog(), workload, hardware, seed) {}
+
+DbmsSimulator::DbmsSimulator(const ConfigurationSpace& space,
+                             WorkloadId workload, HardwareInstance hardware,
+                             uint64_t seed)
+    : space_(space),
+      profile_(GetWorkloadProfile(workload)),
+      hardware_(GetHardwareProfile(hardware)),
+      surface_(std::make_unique<ResponseSurface>(&space_, profile_)),
+      noise_rng_(seed) {
+  ResolveMemoryKnobs();
+}
+
+void DbmsSimulator::ResolveMemoryKnobs() {
+  auto find = [&](const char* name) -> int {
+    Result<size_t> idx = space_.KnobIndex(name);
+    return idx.ok() ? static_cast<int>(*idx) : -1;
+  };
+  buffer_pool_knob_ = find("innodb_buffer_pool_size");
+  if (buffer_pool_knob_ < 0) buffer_pool_knob_ = find("buffer_pool_size");
+  max_connections_knob_ = find("max_connections");
+  for (const char* name :
+       {"sort_buffer_size", "join_buffer_size", "read_buffer_size",
+        "read_rnd_buffer_size"}) {
+    const int idx = find(name);
+    if (idx >= 0) per_session_buffer_knobs_.push_back(idx);
+  }
+}
+
+Configuration DbmsSimulator::EffectiveDefault() const {
+  Configuration config = space_.Default();
+  if (buffer_pool_knob_ >= 0) {
+    const Knob& knob = space_.knob(buffer_pool_knob_);
+    const double target = 0.60 * hardware_.ram_gb * 1024.0 * 1024.0 * 1024.0;
+    config[buffer_pool_knob_] = knob.Clip(target);
+  }
+  return config;
+}
+
+double DbmsSimulator::EstimatedMemoryBytes(const Configuration& config) const {
+  double total = 0.0;
+  if (buffer_pool_knob_ >= 0) total += config[buffer_pool_knob_];
+  double per_session = 0.0;
+  for (int idx : per_session_buffer_knobs_) per_session += config[idx];
+  double sessions = kActiveSessions;
+  if (max_connections_knob_ >= 0) {
+    sessions = std::min(sessions, config[max_connections_knob_]);
+  }
+  total += sessions * per_session;
+  return total;
+}
+
+bool DbmsSimulator::WouldCrash(const Configuration& config) const {
+  const double ram_bytes = hardware_.ram_gb * 1024.0 * 1024.0 * 1024.0;
+  return EstimatedMemoryBytes(config) > kMemoryBudgetFraction * ram_bytes;
+}
+
+double DbmsSimulator::NoiselessObjective(const Configuration& config) const {
+  const Configuration clipped = space_.Clip(config);
+  const double score = surface_->Score(clipped);
+  if (profile_.objective == ObjectiveKind::kThroughput) {
+    return profile_.base_objective * hardware_.performance_scale *
+           std::exp(score);
+  }
+  return profile_.base_objective / hardware_.performance_scale /
+         std::exp(score);
+}
+
+std::vector<double> DbmsSimulator::ComputeInternalMetrics(
+    const std::vector<double>& unit, double score) {
+  // Feature vector: effect groups + workload descriptors + hardware.
+  std::vector<double> features = surface_->GroupEffects(unit, kEffectGroups);
+  features.push_back(score);
+  features.push_back(profile_.read_only_fraction);
+  features.push_back(std::log10(profile_.size_gb + 1e-6));
+  features.push_back(static_cast<double>(profile_.tables) / 150.0);
+  for (int c = 0; c < 4; ++c) {
+    features.push_back(
+        static_cast<int>(profile_.workload_class) == c ? 1.0 : 0.0);
+  }
+  features.push_back(static_cast<double>(hardware_.cpu_cores) / 32.0);
+  features.push_back(hardware_.ram_gb / 64.0);
+
+  // Fixed random projection shared by every simulator instance.
+  static const std::vector<std::vector<double>>* projection = [] {
+    Rng proj_rng(kMetricProjectionSeed);
+    auto* rows = new std::vector<std::vector<double>>(kNumInternalMetrics);
+    const size_t kMaxFeatures = 32;
+    for (auto& row : *rows) {
+      row.resize(kMaxFeatures);
+      for (double& w : row) w = proj_rng.Gaussian(0.0, 0.8);
+    }
+    return rows;
+  }();
+
+  std::vector<double> metrics(kNumInternalMetrics, 0.0);
+  for (size_t m = 0; m < kNumInternalMetrics; ++m) {
+    double acc = 0.0;
+    const std::vector<double>& row = (*projection)[m];
+    for (size_t f = 0; f < features.size() && f < row.size(); ++f) {
+      acc += row[f] * features[f];
+    }
+    metrics[m] = std::tanh(acc) + noise_rng_.Gaussian(0.0, 0.01);
+  }
+  return metrics;
+}
+
+EvaluationResult DbmsSimulator::Evaluate(const Configuration& config) {
+  EvaluationResult result;
+  ++evaluation_count_;
+  const Configuration clipped = space_.Clip(config);
+
+  if (WouldCrash(clipped)) {
+    result.failed = true;
+    result.internal_metrics.assign(kNumInternalMetrics, 0.0);
+    result.evaluation_seconds = kFailedProbeSeconds;
+    simulated_seconds_ += result.evaluation_seconds;
+    return result;
+  }
+
+  const std::vector<double> unit = space_.ToUnit(clipped);
+  const double score = surface_->ScoreFromUnit(unit);
+  const double noise = std::exp(noise_rng_.Gaussian(0.0, kNoiseSigma));
+  if (profile_.objective == ObjectiveKind::kThroughput) {
+    result.objective = profile_.base_objective * hardware_.performance_scale *
+                       std::exp(score) * noise;
+  } else {
+    result.objective = profile_.base_objective /
+                       hardware_.performance_scale / std::exp(score) * noise;
+  }
+  result.internal_metrics = ComputeInternalMetrics(unit, score);
+  result.evaluation_seconds = kRestartSeconds + kStressTestSeconds;
+  simulated_seconds_ += result.evaluation_seconds;
+  return result;
+}
+
+}  // namespace dbtune

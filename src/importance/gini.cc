@@ -1,0 +1,27 @@
+#include "importance/gini.h"
+
+#include "util/stats.h"
+
+namespace dbtune {
+
+GiniImportance::GiniImportance(uint64_t seed,
+                               RandomForestOptions forest_options)
+    : seed_(seed), forest_options_(forest_options) {}
+
+Result<std::vector<double>> GiniImportance::Rank(
+    const ImportanceInput& input) {
+  RandomForestOptions options = forest_options_;
+  options.seed = seed_;
+  options.num_trees = 30;
+  RandomForest forest(options);
+  DBTUNE_RETURN_IF_ERROR(forest.Fit(input.unit_x, input.scores));
+
+  last_r_squared_ = HoldoutRSquared(
+      input,
+      [&] { return std::make_unique<RandomForest>(options); },
+      seed_);
+
+  return forest.SplitCountImportance();
+}
+
+}  // namespace dbtune

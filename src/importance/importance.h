@@ -1,0 +1,76 @@
+#ifndef DBTUNE_IMPORTANCE_IMPORTANCE_H_
+#define DBTUNE_IMPORTANCE_IMPORTANCE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "knobs/configuration_space.h"
+#include "surrogate/regressor.h"
+#include "util/status.h"
+
+namespace dbtune {
+
+/// Training data for knob selection: unit-encoded configurations with
+/// maximize-direction scores, plus the default configuration's encoding
+/// and score (the anchor of the tunability-based measurements).
+struct ImportanceInput {
+  const ConfigurationSpace* space = nullptr;
+  FeatureMatrix unit_x;
+  std::vector<double> scores;
+  std::vector<double> default_unit;
+  double default_score = 0.0;
+};
+
+/// The five importance measurements of the paper's Table 2.
+enum class MeasurementType {
+  kLasso = 0,
+  kGini,
+  kFanova,
+  kAblation,
+  kShap,
+};
+
+/// Display name ("Lasso", "Gini", "fANOVA", "Ablation", "SHAP").
+const char* MeasurementTypeName(MeasurementType type);
+
+/// A knob-importance measurement: maps observations to a non-negative
+/// importance score per knob (higher = more worth tuning).
+class ImportanceMeasure {
+ public:
+  virtual ~ImportanceMeasure() = default;
+
+  /// Per-knob importance; size equals the space dimension.
+  virtual Result<std::vector<double>> Rank(const ImportanceInput& input) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Indices of the `k` highest-importance knobs, in descending importance.
+std::vector<size_t> TopKnobs(const std::vector<double>& importance, size_t k);
+
+/// Builds an `ImportanceInput` from parallel configuration/score vectors.
+Result<ImportanceInput> MakeImportanceInput(
+    const ConfigurationSpace& space, const std::vector<Configuration>& configs,
+    const std::vector<double>& scores, const Configuration& default_config,
+    double default_score);
+
+/// Instantiates one of the five measurements.
+std::unique_ptr<ImportanceMeasure> CreateImportanceMeasure(
+    MeasurementType type, uint64_t seed = 97);
+
+/// Held-out R² of a model family on the measurement input: fits a fresh
+/// model on 75% of the samples and scores the remaining 25% (the paper's
+/// Figure 4 validation metric). `factory` creates an unfitted model.
+double HoldoutRSquared(const ImportanceInput& input,
+                       const std::function<std::unique_ptr<Regressor>()>&
+                           factory,
+                       uint64_t seed);
+
+/// All five measurement types in Table 2 order.
+std::vector<MeasurementType> AllMeasurements();
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_IMPORTANCE_IMPORTANCE_H_

@@ -1,0 +1,114 @@
+#include "importance/incremental.h"
+
+#include <algorithm>
+
+#include "dbms/environment.h"
+#include "util/logging.h"
+
+namespace dbtune {
+
+IncrementalOptions IncreasingSchedule(size_t iterations_per_phase) {
+  IncrementalOptions options;
+  options.phase_sizes = {5, 10, 15, 20};
+  options.iterations_per_phase = iterations_per_phase;
+  return options;
+}
+
+IncrementalOptions DecreasingSchedule(size_t iterations_per_phase) {
+  IncrementalOptions options;
+  options.phase_sizes = {40, 20, 10, 5};
+  options.iterations_per_phase = iterations_per_phase;
+  return options;
+}
+
+Result<IncrementalResult> RunIncrementalSession(
+    DbmsSimulator* simulator, const std::vector<size_t>& ranked_knobs,
+    const IncrementalOptions& options) {
+  if (options.phase_sizes.empty()) {
+    return Status::InvalidArgument("phase_sizes must be non-empty");
+  }
+  for (size_t size : options.phase_sizes) {
+    if (size == 0 || size > ranked_knobs.size()) {
+      return Status::InvalidArgument("phase size out of range");
+    }
+  }
+
+  IncrementalResult result;
+  double best_objective = 0.0;
+  double best_improvement = 0.0;
+  bool first_phase = true;
+
+  // Observations carried across phases, in full-space knob/value pairs.
+  struct CarriedObservation {
+    std::vector<std::pair<size_t, double>> values;  // (full knob id, value)
+    double score = 0.0;
+  };
+  std::vector<CarriedObservation> carried;
+
+  uint64_t phase_seed = options.seed;
+  for (size_t size : options.phase_sizes) {
+    std::vector<size_t> knobs(ranked_knobs.begin(),
+                              ranked_knobs.begin() + static_cast<long>(size));
+    TuningEnvironment env(simulator, knobs);
+    if (first_phase) {
+      best_objective = env.default_objective();
+      best_improvement = 0.0;
+      first_phase = false;
+    }
+
+    OptimizerOptions optimizer_options;
+    optimizer_options.seed = phase_seed++;
+    std::unique_ptr<Optimizer> optimizer =
+        CreateOptimizer(options.optimizer, env.space(), optimizer_options);
+    optimizer->SetReferenceScore(env.default_score());
+
+    // Warm start with the previous phase's observations, re-expressed in
+    // this phase's subspace (missing knobs at their defaults).
+    const Configuration sub_default = env.space().Default();
+    for (const CarriedObservation& obs : carried) {
+      Configuration sub = sub_default;
+      for (const auto& [full_id, value] : obs.values) {
+        for (size_t i = 0; i < knobs.size(); ++i) {
+          if (knobs[i] == full_id) {
+            sub[i] = value;
+            break;
+          }
+        }
+      }
+      optimizer->Observe(sub, obs.score);
+    }
+
+    for (size_t iter = 0; iter < options.iterations_per_phase; ++iter) {
+      const Configuration config = optimizer->Suggest();
+      const Observation obs = env.Evaluate(config);
+      optimizer->ObserveWithMetrics(obs.config, obs.score,
+                                    obs.internal_metrics);
+      if (!obs.failed) {
+        const double improvement = env.ImprovementPercentOf(obs.objective);
+        if (improvement > best_improvement) {
+          best_improvement = improvement;
+          best_objective = obs.objective;
+        }
+      }
+      result.best_objective_trace.push_back(best_objective);
+      result.improvement_trace.push_back(best_improvement);
+    }
+
+    // Carry this phase's observations forward.
+    carried.clear();
+    const std::vector<Observation>& history = env.history();
+    for (const Observation& obs : history) {
+      CarriedObservation c;
+      c.score = obs.score;
+      for (size_t i = 0; i < knobs.size(); ++i) {
+        c.values.emplace_back(knobs[i], obs.config[i]);
+      }
+      carried.push_back(std::move(c));
+    }
+  }
+
+  result.final_improvement = best_improvement;
+  return result;
+}
+
+}  // namespace dbtune

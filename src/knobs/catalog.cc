@@ -1,0 +1,426 @@
+#include "knobs/catalog.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+namespace {
+
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * kKiB;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+// Common enum value sets reused across generated knobs.
+std::vector<std::string> OnOff() { return {"OFF", "ON"}; }
+
+}  // namespace
+
+ConfigurationSpace MySqlKnobCatalog() {
+  std::vector<Knob> knobs;
+  knobs.reserve(kMySqlKnobCount);
+
+  // --- InnoDB buffer pool and memory sizing -------------------------------
+  knobs.push_back(Knob::Integer("innodb_buffer_pool_size", 5 * kMiB, 64 * kGiB,
+                                128 * kMiB, /*log_scale=*/true));
+  knobs.push_back(Knob::Integer("innodb_buffer_pool_instances", 1, 64, 8));
+  knobs.push_back(Knob::Integer("innodb_log_file_size", 4 * kMiB, 8 * kGiB,
+                                48 * kMiB, true));
+  knobs.push_back(Knob::Integer("innodb_log_buffer_size", 256 * kKiB,
+                                1 * kGiB, 16 * kMiB, true));
+  knobs.push_back(Knob::Integer("innodb_log_files_in_group", 2, 16, 2));
+  knobs.push_back(Knob::Integer("innodb_sort_buffer_size", 64 * kKiB,
+                                64 * kMiB, 1 * kMiB, true));
+  knobs.push_back(Knob::Integer("innodb_online_alter_log_max_size",
+                                64 * kKiB, 8 * kGiB, 128 * kMiB, true));
+  knobs.push_back(Knob::Integer("innodb_ft_cache_size", 1600000, 80000000,
+                                8000000, true));
+  knobs.push_back(Knob::Integer("innodb_ft_total_cache_size", 32 * kMiB,
+                                1600 * kMiB, 640 * kMiB, true));
+  knobs.push_back(Knob::Integer("innodb_change_buffer_max_size", 0, 50, 25));
+  knobs.push_back(Knob::Categorical(
+      "innodb_change_buffering",
+      {"none", "inserts", "deletes", "changes", "purges", "all"}, 5));
+
+  // --- InnoDB I/O and flushing --------------------------------------------
+  knobs.push_back(Knob::Integer("innodb_io_capacity", 100, 100000, 200, true));
+  knobs.push_back(
+      Knob::Integer("innodb_io_capacity_max", 100, 400000, 2000, true));
+  knobs.push_back(Knob::Categorical("innodb_flush_log_at_trx_commit",
+                                    {"0", "1", "2"}, 1));
+  knobs.push_back(Knob::Integer("innodb_flush_log_at_timeout", 1, 2700, 1));
+  knobs.push_back(Knob::Categorical(
+      "innodb_flush_method",
+      {"fsync", "O_DSYNC", "littlesync", "nosync", "O_DIRECT",
+       "O_DIRECT_NO_FSYNC"},
+      0));
+  knobs.push_back(Knob::Categorical("innodb_flush_neighbors",
+                                    {"0", "1", "2"}, 1));
+  knobs.push_back(Knob::Integer("innodb_lru_scan_depth", 100, 16384, 1024));
+  knobs.push_back(Knob::Continuous("innodb_max_dirty_pages_pct", 0.0, 99.99,
+                                   75.0));
+  knobs.push_back(Knob::Continuous("innodb_max_dirty_pages_pct_lwm", 0.0,
+                                   99.99, 0.0));
+  knobs.push_back(Knob::Integer("innodb_flushing_avg_loops", 1, 1000, 30));
+  knobs.push_back(Knob::Categorical("innodb_adaptive_flushing", OnOff(), 1));
+  knobs.push_back(
+      Knob::Continuous("innodb_adaptive_flushing_lwm", 0.0, 70.0, 10.0));
+  knobs.push_back(Knob::Categorical("innodb_doublewrite", OnOff(), 1));
+  knobs.push_back(Knob::Integer("innodb_write_io_threads", 1, 64, 4));
+  knobs.push_back(Knob::Integer("innodb_read_io_threads", 1, 64, 4));
+  knobs.push_back(Knob::Integer("innodb_purge_threads", 1, 32, 4));
+  knobs.push_back(Knob::Integer("innodb_page_cleaners", 1, 64, 4));
+  knobs.push_back(Knob::Categorical("innodb_use_native_aio", OnOff(), 1));
+  knobs.push_back(Knob::Integer("innodb_fill_factor", 10, 100, 100));
+
+  // --- InnoDB concurrency --------------------------------------------------
+  knobs.push_back(Knob::Integer("innodb_thread_concurrency", 0, 1000, 0));
+  knobs.push_back(Knob::Integer("innodb_thread_sleep_delay", 0, 1000000,
+                                10000, false));
+  knobs.push_back(
+      Knob::Integer("innodb_adaptive_max_sleep_delay", 0, 1000000, 150000));
+  knobs.push_back(Knob::Integer("innodb_concurrency_tickets", 1, 1000000,
+                                5000, true));
+  knobs.push_back(Knob::Integer("innodb_commit_concurrency", 0, 1000, 0));
+  knobs.push_back(Knob::Integer("innodb_spin_wait_delay", 0, 6000, 6));
+  knobs.push_back(Knob::Integer("innodb_sync_spin_loops", 0, 4000, 30));
+  knobs.push_back(Knob::Integer("innodb_sync_array_size", 1, 1024, 1));
+  knobs.push_back(Knob::Categorical("innodb_adaptive_hash_index", OnOff(), 1));
+  knobs.push_back(
+      Knob::Integer("innodb_adaptive_hash_index_parts", 1, 512, 8));
+
+  // --- InnoDB transactions and locking ------------------------------------
+  knobs.push_back(Knob::Integer("innodb_lock_wait_timeout", 1, 1073741824, 50,
+                                true));
+  knobs.push_back(Knob::Categorical("innodb_rollback_on_timeout", OnOff(), 0));
+  knobs.push_back(Knob::Categorical("innodb_deadlock_detect", OnOff(), 1));
+  knobs.push_back(Knob::Categorical("innodb_autoinc_lock_mode",
+                                    {"0", "1", "2"}, 1));
+  knobs.push_back(Knob::Integer("innodb_rollback_segments", 1, 128, 128));
+  knobs.push_back(Knob::Categorical("innodb_support_xa", OnOff(), 1));
+
+  // --- InnoDB purge / undo --------------------------------------------------
+  knobs.push_back(Knob::Integer("innodb_purge_batch_size", 1, 5000, 300));
+  knobs.push_back(
+      Knob::Integer("innodb_purge_rseg_truncate_frequency", 1, 128, 128));
+  knobs.push_back(Knob::Integer("innodb_max_purge_lag", 0, 4294967295, 0,
+                                false));
+  knobs.push_back(Knob::Integer("innodb_max_purge_lag_delay", 0, 10000000, 0));
+  knobs.push_back(Knob::Integer("innodb_max_undo_log_size", 10 * kMiB,
+                                16 * kGiB, 1 * kGiB, true));
+  knobs.push_back(Knob::Categorical("innodb_undo_log_truncate", OnOff(), 0));
+
+  // --- InnoDB stats / misc --------------------------------------------------
+  knobs.push_back(Knob::Categorical("innodb_stats_method",
+                                    {"nulls_equal", "nulls_unequal",
+                                     "nulls_ignored"},
+                                    0));
+  knobs.push_back(Knob::Categorical("innodb_stats_persistent", OnOff(), 1));
+  knobs.push_back(Knob::Integer("innodb_stats_persistent_sample_pages", 1,
+                                1000, 20));
+  knobs.push_back(Knob::Integer("innodb_stats_transient_sample_pages", 1,
+                                100, 8));
+  knobs.push_back(Knob::Categorical("innodb_stats_on_metadata", OnOff(), 0));
+  knobs.push_back(Knob::Categorical("innodb_stats_auto_recalc", OnOff(), 1));
+  knobs.push_back(Knob::Categorical("innodb_buffer_pool_dump_at_shutdown",
+                                    OnOff(), 1));
+  knobs.push_back(Knob::Integer("innodb_buffer_pool_dump_pct", 1, 100, 25));
+  knobs.push_back(Knob::Categorical("innodb_random_read_ahead", OnOff(), 0));
+  knobs.push_back(Knob::Integer("innodb_read_ahead_threshold", 0, 64, 56));
+  knobs.push_back(Knob::Integer("innodb_old_blocks_pct", 5, 95, 37));
+  knobs.push_back(Knob::Integer("innodb_old_blocks_time", 0, 10000, 1000));
+  knobs.push_back(Knob::Categorical(
+      "innodb_compression_level", {"0", "1", "2", "3", "4", "5", "6", "7",
+                                   "8", "9"},
+      6));
+  knobs.push_back(Knob::Integer("innodb_compression_failure_threshold_pct", 0,
+                                100, 5));
+  knobs.push_back(Knob::Integer("innodb_compression_pad_pct_max", 0, 75, 50));
+  knobs.push_back(Knob::Categorical("innodb_checksum_algorithm",
+                                    {"crc32", "strict_crc32", "innodb",
+                                     "strict_innodb", "none", "strict_none"},
+                                    0));
+  knobs.push_back(Knob::Integer("innodb_ft_min_token_size", 0, 16, 3));
+  knobs.push_back(Knob::Integer("innodb_ft_max_token_size", 10, 84, 84));
+  knobs.push_back(Knob::Integer("innodb_ft_sort_pll_degree", 1, 16, 2));
+  knobs.push_back(Knob::Integer("innodb_ft_result_cache_limit", 1000000,
+                                4294967295, 2000000000, true));
+  knobs.push_back(Knob::Categorical("innodb_disable_sort_file_cache",
+                                    OnOff(), 0));
+  knobs.push_back(Knob::Integer("innodb_open_files", 10, 100000, 2000, true));
+  knobs.push_back(Knob::Categorical("innodb_file_per_table", OnOff(), 1));
+  knobs.push_back(Knob::Integer("innodb_autoextend_increment", 1, 1000, 64));
+  knobs.push_back(Knob::Categorical("innodb_default_row_format",
+                                    {"REDUNDANT", "COMPACT", "DYNAMIC"}, 2));
+  knobs.push_back(Knob::Integer("innodb_sync_debug_interval", 1, 65536, 1024,
+                                true));
+
+  // --- Server-level caches and buffers -------------------------------------
+  knobs.push_back(Knob::Integer("tmp_table_size", 1024, 4 * kGiB, 16 * kMiB,
+                                true));
+  knobs.push_back(Knob::Integer("max_heap_table_size", 16 * kKiB, 4 * kGiB,
+                                16 * kMiB, true));
+  knobs.push_back(Knob::Integer("table_open_cache", 1, 524288, 2000, true));
+  knobs.push_back(Knob::Integer("table_open_cache_instances", 1, 64, 16));
+  knobs.push_back(Knob::Integer("table_definition_cache", 400, 524288, 1400,
+                                true));
+  knobs.push_back(Knob::Integer("thread_cache_size", 0, 16384, 9));
+  knobs.push_back(Knob::Integer("thread_stack", 128 * kKiB, 4 * kMiB,
+                                256 * kKiB, true));
+  knobs.push_back(Knob::Integer("sort_buffer_size", 32 * kKiB, 512 * kMiB,
+                                256 * kKiB, true));
+  knobs.push_back(Knob::Integer("join_buffer_size", 128, 1 * kGiB,
+                                256 * kKiB, true));
+  knobs.push_back(Knob::Integer("read_buffer_size", 8 * kKiB, 512 * kMiB,
+                                128 * kKiB, true));
+  knobs.push_back(Knob::Integer("read_rnd_buffer_size", 1024, 512 * kMiB,
+                                256 * kKiB, true));
+  knobs.push_back(Knob::Integer("preload_buffer_size", 1024, 1 * kGiB,
+                                32 * kKiB, true));
+  knobs.push_back(Knob::Integer("bulk_insert_buffer_size", 0, 1 * kGiB,
+                                8 * kMiB, false));
+  knobs.push_back(Knob::Integer("query_cache_size", 0, 1 * kGiB, 1 * kMiB,
+                                false));
+  knobs.push_back(Knob::Integer("query_cache_limit", 0, 128 * kMiB, 1 * kMiB,
+                                false));
+  knobs.push_back(Knob::Integer("query_cache_min_res_unit", 512, 64 * kKiB,
+                                4096, true));
+  knobs.push_back(Knob::Categorical("query_cache_type",
+                                    {"OFF", "ON", "DEMAND"}, 0));
+  knobs.push_back(Knob::Categorical("query_cache_wlock_invalidate", OnOff(),
+                                    0));
+  knobs.push_back(Knob::Integer("host_cache_size", 0, 65536, 279));
+  knobs.push_back(Knob::Integer("binlog_cache_size", 4096, 1 * kGiB,
+                                32 * kKiB, true));
+  knobs.push_back(Knob::Integer("binlog_stmt_cache_size", 4096, 1 * kGiB,
+                                32 * kKiB, true));
+  knobs.push_back(Knob::Integer("key_buffer_size", 8, 1 * kGiB, 8 * kMiB,
+                                true));
+  knobs.push_back(Knob::Integer("key_cache_block_size", 512, 16 * kKiB, 1024,
+                                true));
+  knobs.push_back(Knob::Integer("key_cache_division_limit", 1, 100, 100));
+  knobs.push_back(Knob::Integer("key_cache_age_threshold", 100, 300000, 300));
+
+  // --- Connections, threads, networking ------------------------------------
+  knobs.push_back(Knob::Integer("max_connections", 1, 100000, 151, true));
+  knobs.push_back(Knob::Integer("max_user_connections", 0, 100000, 0, false));
+  knobs.push_back(Knob::Integer("back_log", 1, 65535, 80, true));
+  knobs.push_back(Knob::Integer("max_connect_errors", 1, 4294967295, 100,
+                                true));
+  knobs.push_back(Knob::Integer("connect_timeout", 2, 3600, 10, true));
+  knobs.push_back(Knob::Integer("wait_timeout", 1, 31536000, 28800, true));
+  knobs.push_back(Knob::Integer("interactive_timeout", 1, 31536000, 28800,
+                                true));
+  knobs.push_back(Knob::Integer("net_read_timeout", 1, 3600, 30, true));
+  knobs.push_back(Knob::Integer("net_write_timeout", 1, 3600, 60, true));
+  knobs.push_back(Knob::Integer("net_retry_count", 1, 100000, 10, true));
+  knobs.push_back(Knob::Integer("net_buffer_length", 1024, 1 * kMiB,
+                                16 * kKiB, true));
+  knobs.push_back(Knob::Integer("max_allowed_packet", 1024, 1 * kGiB,
+                                4 * kMiB, true));
+  knobs.push_back(Knob::Integer("thread_pool_size", 1, 64, 16));
+  knobs.push_back(Knob::Integer("thread_pool_stall_limit", 4, 600, 6));
+  knobs.push_back(Knob::Integer("thread_pool_oversubscribe", 1, 64, 3));
+
+  // --- Optimizer and execution ---------------------------------------------
+  knobs.push_back(Knob::Integer("optimizer_prune_level", 0, 1, 1));
+  knobs.push_back(Knob::Integer("optimizer_search_depth", 0, 62, 62));
+  knobs.push_back(Knob::Categorical("optimizer_switch_index_merge", OnOff(),
+                                    1));
+  knobs.push_back(Knob::Categorical("optimizer_switch_mrr", OnOff(), 1));
+  knobs.push_back(
+      Knob::Categorical("optimizer_switch_batched_key_access", OnOff(), 0));
+  knobs.push_back(Knob::Integer("eq_range_index_dive_limit", 0, 4294967295,
+                                200, false));
+  knobs.push_back(Knob::Integer("range_optimizer_max_mem_size", 0, 16 * kGiB,
+                                8 * kMiB, false));
+  knobs.push_back(Knob::Integer("max_seeks_for_key", 1, 4294967295,
+                                4294967295, true));
+  knobs.push_back(Knob::Integer("max_length_for_sort_data", 4, 8388608, 1024,
+                                true));
+  knobs.push_back(Knob::Integer("max_sort_length", 4, 8388608, 1024, true));
+  knobs.push_back(Knob::Integer("group_concat_max_len", 4, 1 * kMiB, 1024,
+                                true));
+  knobs.push_back(Knob::Integer("max_join_size", 1, 4294967295, 4294967295,
+                                true));
+  knobs.push_back(Knob::Integer("min_examined_row_limit", 0, 4294967295, 0,
+                                false));
+  knobs.push_back(Knob::Categorical("big_tables", OnOff(), 0));
+  knobs.push_back(Knob::Integer("max_error_count", 0, 65535, 64));
+  knobs.push_back(Knob::Integer("max_digest_length", 0, 1 * kMiB, 1024,
+                                false));
+  knobs.push_back(Knob::Integer("stored_program_cache", 16, 524288, 256,
+                                true));
+  knobs.push_back(Knob::Integer("table_lock_wait_timeout", 1, 1073741824, 50,
+                                true));
+  knobs.push_back(Knob::Categorical("concurrent_insert",
+                                    {"NEVER", "AUTO", "ALWAYS"}, 1));
+  knobs.push_back(Knob::Integer("div_precision_increment", 0, 30, 4));
+
+  // --- Binary log / replication / durability --------------------------------
+  knobs.push_back(Knob::Integer("sync_binlog", 0, 4294967295, 1, false));
+  knobs.push_back(Knob::Categorical("binlog_format",
+                                    {"ROW", "STATEMENT", "MIXED"}, 0));
+  knobs.push_back(Knob::Categorical("binlog_row_image",
+                                    {"full", "minimal", "noblob"}, 0));
+  knobs.push_back(Knob::Integer("binlog_group_commit_sync_delay", 0, 1000000,
+                                0, false));
+  knobs.push_back(Knob::Integer("binlog_group_commit_sync_no_delay_count", 0,
+                                100000, 0, false));
+  knobs.push_back(Knob::Integer("max_binlog_size", 4096, 1 * kGiB, 1 * kGiB,
+                                true));
+  knobs.push_back(Knob::Integer("max_binlog_cache_size", 4096,
+                                4294967295, 4294967295, true));
+  knobs.push_back(Knob::Integer("expire_logs_days", 0, 99, 0));
+  knobs.push_back(Knob::Categorical("log_bin_use_v1_row_events", OnOff(), 0));
+  knobs.push_back(Knob::Integer("slave_net_timeout", 1, 31536000, 60, true));
+  knobs.push_back(Knob::Categorical("slave_compressed_protocol", OnOff(), 0));
+  knobs.push_back(Knob::Integer("slave_parallel_workers", 0, 1024, 0, false));
+  knobs.push_back(Knob::Categorical("slave_parallel_type",
+                                    {"DATABASE", "LOGICAL_CLOCK"}, 0));
+  knobs.push_back(Knob::Integer("rpl_stop_slave_timeout", 2, 31536000, 31536000,
+                                true));
+  knobs.push_back(Knob::Categorical("relay_log_purge", OnOff(), 1));
+  knobs.push_back(Knob::Integer("relay_log_space_limit", 0, 4294967295, 0,
+                                false));
+
+  // --- MyISAM ---------------------------------------------------------------
+  knobs.push_back(Knob::Integer("myisam_sort_buffer_size", 4096, 1 * kGiB,
+                                8 * kMiB, true));
+  knobs.push_back(Knob::Integer("myisam_max_sort_file_size", 0, 64 * kGiB,
+                                9 * kGiB, false));
+  knobs.push_back(Knob::Integer("myisam_repair_threads", 1, 64, 1));
+  knobs.push_back(Knob::Categorical("myisam_use_mmap", OnOff(), 0));
+  knobs.push_back(Knob::Categorical("myisam_stats_method",
+                                    {"nulls_unequal", "nulls_equal",
+                                     "nulls_ignored"},
+                                    0));
+  knobs.push_back(Knob::Integer("myisam_data_pointer_size", 2, 7, 6));
+
+  // --- Logging / monitoring --------------------------------------------------
+  knobs.push_back(Knob::Categorical("general_log", OnOff(), 0));
+  knobs.push_back(Knob::Categorical("slow_query_log", OnOff(), 0));
+  knobs.push_back(Knob::Integer("long_query_time", 0, 3600, 10, false));
+  knobs.push_back(Knob::Categorical("log_queries_not_using_indexes", OnOff(),
+                                    0));
+  knobs.push_back(
+      Knob::Integer("log_throttle_queries_not_using_indexes", 0, 4294967295,
+                    0, false));
+  knobs.push_back(Knob::Categorical("log_slow_admin_statements", OnOff(), 0));
+  knobs.push_back(Knob::Categorical("performance_schema", OnOff(), 1));
+  knobs.push_back(Knob::Integer("performance_schema_digests_size", 200,
+                                1048576, 10000, true));
+
+  // --- Misc server ------------------------------------------------------------
+  knobs.push_back(Knob::Integer("open_files_limit", 0, 1048576, 5000, false));
+  knobs.push_back(Knob::Integer("max_prepared_stmt_count", 0, 1048576, 16382,
+                                false));
+  knobs.push_back(Knob::Integer("max_sp_recursion_depth", 0, 255, 0));
+  knobs.push_back(Knob::Integer("max_write_lock_count", 1, 4294967295,
+                                4294967295, true));
+  knobs.push_back(Knob::Integer("metadata_locks_cache_size", 1, 1048576, 1024,
+                                true));
+  knobs.push_back(Knob::Integer("metadata_locks_hash_instances", 1, 1024, 8));
+  knobs.push_back(Knob::Categorical("flush", OnOff(), 0));
+  knobs.push_back(Knob::Integer("flush_time", 0, 31536000, 0, false));
+  knobs.push_back(Knob::Categorical("low_priority_updates", OnOff(), 0));
+  knobs.push_back(Knob::Categorical("sql_buffer_result", OnOff(), 0));
+  knobs.push_back(Knob::Integer("lock_wait_timeout", 1, 31536000, 31536000,
+                                true));
+  knobs.push_back(Knob::Integer("range_alloc_block_size", 4096, 4294967295,
+                                4096, true));
+  knobs.push_back(Knob::Integer("query_alloc_block_size", 1024, 4294967295,
+                                8192, true));
+  knobs.push_back(Knob::Integer("query_prealloc_size", 8192, 4294967295,
+                                8192, true));
+  knobs.push_back(Knob::Integer("transaction_alloc_block_size", 1024,
+                                131072, 8192, true));
+  knobs.push_back(Knob::Integer("transaction_prealloc_size", 1024, 131072,
+                                4096, true));
+  knobs.push_back(Knob::Categorical("transaction_isolation",
+                                    {"READ-UNCOMMITTED", "READ-COMMITTED",
+                                     "REPEATABLE-READ", "SERIALIZABLE"},
+                                    2));
+  knobs.push_back(Knob::Categorical("completion_type",
+                                    {"NO_CHAIN", "CHAIN", "RELEASE"}, 0));
+  knobs.push_back(Knob::Categorical("autocommit", OnOff(), 1));
+  knobs.push_back(Knob::Categorical("event_scheduler",
+                                    {"OFF", "ON", "DISABLED"}, 0));
+  knobs.push_back(Knob::Integer("delayed_insert_limit", 1, 4294967295, 100,
+                                true));
+  knobs.push_back(Knob::Integer("delayed_insert_timeout", 1, 31536000, 300,
+                                true));
+  knobs.push_back(Knob::Integer("delayed_queue_size", 1, 4294967295, 1000,
+                                true));
+  knobs.push_back(Knob::Integer("max_delayed_threads", 0, 16384, 20, false));
+  knobs.push_back(Knob::Categorical("updatable_views_with_limit", OnOff(), 1));
+  knobs.push_back(Knob::Integer("ft_min_word_len", 1, 82, 4));
+  knobs.push_back(Knob::Integer("ft_max_word_len", 10, 84, 84));
+  knobs.push_back(Knob::Integer("ft_query_expansion_limit", 0, 1000, 20));
+
+  // --- Generated tail: per-subsystem tunables -------------------------------
+  // MySQL 5.7 exposes a long tail of lower-impact tunables (session memory
+  // steps, cache shard counts, timeouts). We synthesize the remainder of the
+  // 197-knob space with the same realistic domain shapes; the simulator
+  // treats them exactly like the hand-listed knobs.
+  const char* subsystems[] = {"innodb", "server", "net", "repl", "myisam"};
+  size_t gen = 0;
+  while (knobs.size() < kMySqlKnobCount) {
+    const char* subsystem = subsystems[gen % 5];
+    char name[96];
+    const size_t kind = gen % 4;
+    switch (kind) {
+      case 0:
+        std::snprintf(name, sizeof(name), "%s_aux_buffer_%zu_size", subsystem,
+                      gen);
+        knobs.push_back(
+            Knob::Integer(name, 4 * kKiB, 256 * kMiB, 1 * kMiB, true));
+        break;
+      case 1:
+        std::snprintf(name, sizeof(name), "%s_aux_threads_%zu", subsystem,
+                      gen);
+        knobs.push_back(Knob::Integer(name, 1, 128, 4));
+        break;
+      case 2:
+        std::snprintf(name, sizeof(name), "%s_aux_ratio_%zu_pct", subsystem,
+                      gen);
+        knobs.push_back(Knob::Continuous(name, 0.0, 100.0, 50.0));
+        break;
+      case 3:
+        std::snprintf(name, sizeof(name), "%s_aux_policy_%zu", subsystem, gen);
+        knobs.push_back(Knob::Categorical(
+            name, {"default", "aggressive", "lazy", "adaptive"}, 0));
+        break;
+    }
+    ++gen;
+  }
+
+  DBTUNE_CHECK(knobs.size() == kMySqlKnobCount);
+  return ConfigurationSpace(std::move(knobs));
+}
+
+ConfigurationSpace SmallTestCatalog() {
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::Integer("buffer_pool_size", 1 * kMiB, 8 * kGiB,
+                                128 * kMiB, true));
+  knobs.push_back(Knob::Integer("log_file_size", 4 * kMiB, 2 * kGiB,
+                                48 * kMiB, true));
+  knobs.push_back(Knob::Integer("io_capacity", 100, 20000, 200, true));
+  knobs.push_back(Knob::Integer("thread_concurrency", 0, 256, 0));
+  knobs.push_back(Knob::Continuous("max_dirty_pages_pct", 0.0, 99.0, 75.0));
+  knobs.push_back(Knob::Categorical("flush_method",
+                                    {"fsync", "O_DSYNC", "O_DIRECT"}, 0));
+  knobs.push_back(Knob::Categorical("flush_log_at_trx_commit",
+                                    {"0", "1", "2"}, 1));
+  knobs.push_back(Knob::Integer("sort_buffer_size", 32 * kKiB, 64 * kMiB,
+                                256 * kKiB, true));
+  knobs.push_back(Knob::Integer("join_buffer_size", 128, 64 * kMiB,
+                                256 * kKiB, true));
+  knobs.push_back(Knob::Categorical("adaptive_hash_index", {"OFF", "ON"}, 1));
+  knobs.push_back(Knob::Integer("table_open_cache", 1, 65536, 2000, true));
+  knobs.push_back(Knob::Continuous("change_buffer_max_pct", 0.0, 50.0, 25.0));
+  return ConfigurationSpace(std::move(knobs));
+}
+
+}  // namespace dbtune

@@ -1,0 +1,28 @@
+#ifndef DBTUNE_KNOBS_CATALOG_H_
+#define DBTUNE_KNOBS_CATALOG_H_
+
+#include "knobs/configuration_space.h"
+
+namespace dbtune {
+
+/// Number of tunable knobs in the MySQL-5.7-style catalog, matching the
+/// paper's setup ("197 configuration knobs in MySQL 5.7, except the knobs
+/// that do not make sense to tune").
+inline constexpr size_t kMySqlKnobCount = 197;
+
+/// Builds the full MySQL-5.7-style configuration space: 197 knobs with
+/// realistic names, domains, defaults and type mix (size/count integers,
+/// ratio continuous knobs, enum/switch categorical knobs). Memory-size
+/// knobs are expressed in bytes and log-scaled.
+///
+/// The catalog is a faithful stand-in for the real server's knob space
+/// (see DESIGN.md §2): tuning algorithms only observe names, domains and
+/// defaults, all of which mirror the real system.
+ConfigurationSpace MySqlKnobCatalog();
+
+/// A small 12-knob catalog used by unit tests and the quickstart example.
+ConfigurationSpace SmallTestCatalog();
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_KNOBS_CATALOG_H_

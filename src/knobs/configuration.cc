@@ -1,0 +1,19 @@
+#include "knobs/configuration.h"
+
+#include <cstdio>
+
+namespace dbtune {
+
+std::string Configuration::DebugString() const {
+  std::string out = "[";
+  char buf[32];
+  for (size_t i = 0; i < values_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%g", values_[i]);
+    if (i) out += ", ";
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dbtune

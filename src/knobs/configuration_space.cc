@@ -1,0 +1,136 @@
+#include "knobs/configuration_space.h"
+
+#include <set>
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+ConfigurationSpace::ConfigurationSpace(std::vector<Knob> knobs)
+    : knobs_(std::move(knobs)) {
+  std::set<std::string> names;
+  for (const Knob& k : knobs_) {
+    DBTUNE_CHECK_MSG(names.insert(k.name()).second,
+                     "duplicate knob name: " + k.name());
+  }
+}
+
+Result<size_t> ConfigurationSpace::KnobIndex(const std::string& name) const {
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    if (knobs_[i].name() == name) return i;
+  }
+  return Status::NotFound("no knob named " + name);
+}
+
+Configuration ConfigurationSpace::Default() const {
+  std::vector<double> values(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    values[i] = knobs_[i].default_value();
+  }
+  return Configuration(std::move(values));
+}
+
+Configuration ConfigurationSpace::SampleUniform(Rng& rng) const {
+  std::vector<double> values(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    values[i] = knobs_[i].Decode(rng.Uniform());
+  }
+  return Configuration(std::move(values));
+}
+
+std::vector<double> ConfigurationSpace::ToUnit(
+    const Configuration& config) const {
+  DBTUNE_CHECK(config.size() == knobs_.size());
+  std::vector<double> unit(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    unit[i] = knobs_[i].Encode(config[i]);
+  }
+  return unit;
+}
+
+Configuration ConfigurationSpace::FromUnit(
+    const std::vector<double>& unit) const {
+  DBTUNE_CHECK(unit.size() == knobs_.size());
+  std::vector<double> values(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    values[i] = knobs_[i].Decode(unit[i]);
+  }
+  return Configuration(std::move(values));
+}
+
+Configuration ConfigurationSpace::Clip(const Configuration& config) const {
+  DBTUNE_CHECK(config.size() == knobs_.size());
+  std::vector<double> values(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    values[i] = knobs_[i].Clip(config[i]);
+  }
+  return Configuration(std::move(values));
+}
+
+Status ConfigurationSpace::Validate(const Configuration& config) const {
+  if (config.size() != knobs_.size()) {
+    return Status::InvalidArgument("configuration arity mismatch");
+  }
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    if (!knobs_[i].IsValid(config[i])) {
+      return Status::OutOfRange("knob " + knobs_[i].name() +
+                                " value out of domain");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> ConfigurationSpace::CategoricalIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    if (knobs_[i].is_categorical()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> ConfigurationSpace::NumericIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    if (!knobs_[i].is_categorical()) out.push_back(i);
+  }
+  return out;
+}
+
+ConfigurationSpace ConfigurationSpace::Project(
+    const std::vector<size_t>& indices) const {
+  std::vector<Knob> selected;
+  selected.reserve(indices.size());
+  for (size_t i : indices) {
+    DBTUNE_CHECK(i < knobs_.size());
+    selected.push_back(knobs_[i]);
+  }
+  return ConfigurationSpace(std::move(selected));
+}
+
+KnobSubset::KnobSubset(const ConfigurationSpace* full,
+                       std::vector<size_t> indices)
+    : full_(full),
+      indices_(std::move(indices)),
+      subspace_(full->Project(indices_)) {
+  DBTUNE_CHECK(full_ != nullptr);
+}
+
+Configuration KnobSubset::ToFull(const Configuration& sub_config) const {
+  DBTUNE_CHECK(sub_config.size() == indices_.size());
+  Configuration full = full_->Default();
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    full[indices_[i]] = sub_config[i];
+  }
+  return full;
+}
+
+Configuration KnobSubset::FromFull(const Configuration& full_config) const {
+  DBTUNE_CHECK(full_config.size() == full_->dimension());
+  std::vector<double> values(indices_.size());
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    values[i] = full_config[indices_[i]];
+  }
+  return Configuration(std::move(values));
+}
+
+}  // namespace dbtune

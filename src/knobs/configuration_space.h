@@ -1,0 +1,89 @@
+#ifndef DBTUNE_KNOBS_CONFIGURATION_SPACE_H_
+#define DBTUNE_KNOBS_CONFIGURATION_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "knobs/configuration.h"
+#include "knobs/knob.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dbtune {
+
+/// The Cartesian product of knob domains (the paper's Θ = Θ1 × ... × Θm).
+/// Provides sampling, unit-cube encoding for optimizers, validation, and
+/// projection onto knob subsets (the output of knob selection).
+class ConfigurationSpace {
+ public:
+  ConfigurationSpace() = default;
+  /// Builds a space from an ordered list of knobs. Names must be unique.
+  explicit ConfigurationSpace(std::vector<Knob> knobs);
+
+  size_t dimension() const { return knobs_.size(); }
+  const Knob& knob(size_t i) const { return knobs_[i]; }
+  const std::vector<Knob>& knobs() const { return knobs_; }
+
+  /// Index of the knob named `name`; NotFound when absent.
+  Result<size_t> KnobIndex(const std::string& name) const;
+
+  /// The DBMS default configuration (every knob at its default).
+  Configuration Default() const;
+
+  /// Uniform sample: each knob drawn independently over its (encoded)
+  /// domain.
+  Configuration SampleUniform(Rng& rng) const;
+
+  /// Encodes a configuration into [0,1]^d.
+  std::vector<double> ToUnit(const Configuration& config) const;
+
+  /// Decodes a [0,1]^d point into a valid configuration (values clipped,
+  /// integers rounded, categories snapped).
+  Configuration FromUnit(const std::vector<double>& unit) const;
+
+  /// Clamps every value into its knob's domain.
+  Configuration Clip(const Configuration& config) const;
+
+  /// OK when `config` has the right arity and every value is in-domain.
+  Status Validate(const Configuration& config) const;
+
+  /// Indices of all categorical knobs.
+  std::vector<size_t> CategoricalIndices() const;
+  /// Indices of all non-categorical knobs.
+  std::vector<size_t> NumericIndices() const;
+
+  /// The subspace spanned by `indices` (in the given order).
+  ConfigurationSpace Project(const std::vector<size_t>& indices) const;
+
+ private:
+  std::vector<Knob> knobs_;
+};
+
+/// A selected subset of a full space's knobs: optimizers work in the
+/// subspace while the DBMS is always driven with full configurations
+/// (unselected knobs stay at their defaults).
+class KnobSubset {
+ public:
+  /// Selects `indices` (into `full`). The full space must outlive the view.
+  KnobSubset(const ConfigurationSpace* full, std::vector<size_t> indices);
+
+  const ConfigurationSpace& subspace() const { return subspace_; }
+  const ConfigurationSpace& full_space() const { return *full_; }
+  const std::vector<size_t>& indices() const { return indices_; }
+
+  /// Expands a subspace configuration to a full configuration, with
+  /// unselected knobs at the full space's defaults.
+  Configuration ToFull(const Configuration& sub_config) const;
+
+  /// Restricts a full configuration to the selected knobs.
+  Configuration FromFull(const Configuration& full_config) const;
+
+ private:
+  const ConfigurationSpace* full_;
+  std::vector<size_t> indices_;
+  ConfigurationSpace subspace_;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_KNOBS_CONFIGURATION_SPACE_H_

@@ -1,0 +1,34 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+AdamOptimizer::AdamOptimizer(size_t num_params, double learning_rate,
+                             double beta1, double beta2, double epsilon)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      m_(num_params, 0.0),
+      v_(num_params, 0.0) {}
+
+void AdamOptimizer::Step(std::vector<double>* params,
+                         const std::vector<double>& grad) {
+  DBTUNE_CHECK(params != nullptr);
+  DBTUNE_CHECK(params->size() == m_.size() && grad.size() == m_.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < m_.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    (*params)[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+  }
+}
+
+}  // namespace dbtune

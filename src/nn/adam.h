@@ -1,0 +1,35 @@
+#ifndef DBTUNE_NN_ADAM_H_
+#define DBTUNE_NN_ADAM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dbtune {
+
+/// Adam optimizer over a flat parameter vector (Kingma & Ba 2015).
+class AdamOptimizer {
+ public:
+  /// `num_params` must match the parameter vector passed to `Step`.
+  AdamOptimizer(size_t num_params, double learning_rate = 1e-3,
+                double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+
+  /// Applies one update: params -= lr * m_hat / (sqrt(v_hat) + eps).
+  void Step(std::vector<double>* params, const std::vector<double>& grad);
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  size_t t_ = 0;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_NN_ADAM_H_

@@ -1,0 +1,70 @@
+#ifndef DBTUNE_NN_MLP_H_
+#define DBTUNE_NN_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dbtune {
+
+/// Activation applied after a dense layer.
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+/// A small fully-connected network with manual backprop; the substrate for
+/// the DDPG actor and critic. Parameters live in one flat vector so the
+/// optimizer (Adam) and DDPG's soft target updates can treat them
+/// uniformly.
+class Mlp {
+ public:
+  /// `layer_sizes` = {input, hidden..., output}; `activations` has one
+  /// entry per non-input layer. Weights use scaled uniform (He-style)
+  /// initialization from `seed`.
+  Mlp(std::vector<size_t> layer_sizes, std::vector<Activation> activations,
+      uint64_t seed);
+
+  /// Caches intermediate activations from `Forward` for `Backward`.
+  struct Tape {
+    std::vector<std::vector<double>> post;  // post[0] = input
+    std::vector<std::vector<double>> pre;   // pre-activation per layer
+  };
+
+  /// Inference; does not record a tape.
+  std::vector<double> Forward(const std::vector<double>& input) const;
+
+  /// Forward pass recording the tape needed by `Backward`.
+  std::vector<double> Forward(const std::vector<double>& input,
+                              Tape* tape) const;
+
+  /// Backpropagates dL/d(output); accumulates parameter gradients into
+  /// `grad` (same layout/size as `params()`, caller-initialized) and
+  /// returns dL/d(input).
+  std::vector<double> Backward(const Tape& tape,
+                               const std::vector<double>& grad_output,
+                               std::vector<double>* grad) const;
+
+  const std::vector<double>& params() const { return params_; }
+  std::vector<double>& mutable_params() { return params_; }
+  size_t num_params() const { return params_.size(); }
+  size_t input_size() const { return layer_sizes_.front(); }
+  size_t output_size() const { return layer_sizes_.back(); }
+
+  /// Polyak soft update: this <- tau * source + (1 - tau) * this.
+  /// Networks must share the architecture.
+  void SoftUpdateFrom(const Mlp& source, double tau);
+
+ private:
+  size_t WeightOffset(size_t layer) const { return offsets_[layer]; }
+  size_t BiasOffset(size_t layer) const {
+    return offsets_[layer] + layer_sizes_[layer] * layer_sizes_[layer + 1];
+  }
+
+  std::vector<size_t> layer_sizes_;
+  std::vector<Activation> activations_;
+  std::vector<size_t> offsets_;  // parameter offset per layer
+  std::vector<double> params_;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_NN_MLP_H_

@@ -1,0 +1,101 @@
+#ifndef DBTUNE_OPTIMIZER_DDPG_H_
+#define DBTUNE_OPTIMIZER_DDPG_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/adam.h"
+#include "nn/mlp.h"
+#include "optimizer/optimizer.h"
+
+namespace dbtune {
+
+/// DDPG-specific options (network sizes follow CDBTune's small MLPs).
+struct DdpgOptions {
+  size_t state_dim = 40;  // number of DBMS internal metrics
+  std::vector<size_t> actor_hidden = {64, 64};
+  std::vector<size_t> critic_hidden = {64, 64};
+  double actor_lr = 1e-3;
+  double critic_lr = 2e-3;
+  double gamma = 0.9;
+  /// Polyak factor for target-network soft updates.
+  double tau = 0.05;
+  size_t batch_size = 32;
+  size_t replay_capacity = 4096;
+  size_t train_steps_per_observe = 8;
+  double noise_sigma_initial = 0.5;
+  double noise_sigma_final = 0.03;
+  double noise_decay_iterations = 150;
+};
+
+/// Deep Deterministic Policy Gradient tuner (CDBTune / QTune style): the
+/// actor maps DBMS internal metrics (state) to a configuration (action);
+/// the critic scores state-action pairs against the reward derived from
+/// performance deltas versus the default and the previous iteration.
+///
+/// Feed observations through `ObserveWithMetrics`; plain `Observe` uses a
+/// zero state (the optimizer still works but degenerates to a contextual
+/// bandit).
+class DdpgOptimizer final : public Optimizer {
+ public:
+  DdpgOptimizer(const ConfigurationSpace& space, OptimizerOptions options,
+                DdpgOptions ddpg_options = {});
+
+  Configuration Suggest() override;
+  void Observe(const Configuration& config, double score) override;
+  void ObserveWithMetrics(const Configuration& config, double score,
+                          const std::vector<double>& metrics) override;
+  std::string name() const override { return "DDPG"; }
+
+  /// Performance of the default configuration; anchors the reward. When
+  /// unset, the first observed score is used.
+  void SetReferenceScore(double score) override {
+    reference_score_ = score;
+    has_reference_ = true;
+  }
+
+  /// Actor/critic parameters, for pre-training + fine-tuning transfer.
+  struct Weights {
+    std::vector<double> actor;
+    std::vector<double> critic;
+  };
+  Weights ExportWeights() const;
+  /// Loads pre-trained weights (architecture must match; fails otherwise).
+  Status ImportWeights(const Weights& weights);
+
+ private:
+  struct Transition {
+    std::vector<double> state;
+    std::vector<double> action;  // unit-encoded configuration
+    double reward = 0.0;
+    std::vector<double> next_state;
+  };
+
+  double ComputeReward(double score);
+  void TrainStep();
+
+  DdpgOptions ddpg_options_;
+  Mlp actor_;
+  Mlp critic_;
+  Mlp actor_target_;
+  Mlp critic_target_;
+  AdamOptimizer actor_opt_;
+  AdamOptimizer critic_opt_;
+
+  std::vector<Transition> replay_;
+  size_t replay_cursor_ = 0;
+
+  std::vector<double> state_;        // current state (last metrics)
+  std::vector<double> last_action_;  // action awaiting its observation
+  bool has_pending_action_ = false;
+
+  double reference_score_ = 0.0;
+  bool has_reference_ = false;
+  double previous_score_ = 0.0;
+  bool has_previous_ = false;
+  size_t suggestions_ = 0;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_OPTIMIZER_DDPG_H_

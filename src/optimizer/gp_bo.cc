@@ -1,0 +1,77 @@
+#include "optimizer/gp_bo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace dbtune {
+
+GpBoOptimizer::GpBoOptimizer(const ConfigurationSpace& space,
+                             OptimizerOptions options,
+                             std::unique_ptr<Kernel> kernel)
+    : Optimizer(space, options), gp_(std::move(kernel)) {}
+
+Configuration GpBoOptimizer::Suggest() {
+  if (InitPending()) return NextInit();
+  DBTUNE_CHECK(!scores_.empty());
+
+  const std::vector<double> z = StandardizedScores();
+  Status fit = gp_.Fit(unit_history_, z);
+  if (!fit.ok()) {
+    // Degenerate geometry (e.g. duplicated points): fall back to random.
+    return space_.SampleUniform(rng_);
+  }
+  const double best = *std::max_element(z.begin(), z.end());
+
+  // Candidate pool: global random samples plus local perturbations of the
+  // incumbent.
+  const size_t d = space_.dimension();
+  size_t best_index = 0;
+  for (size_t i = 1; i < z.size(); ++i) {
+    if (z[i] > z[best_index]) best_index = i;
+  }
+  const std::vector<double>& incumbent = unit_history_[best_index];
+
+  std::vector<std::vector<double>> candidates;
+  candidates.reserve(options_.acquisition_candidates);
+  const size_t local = options_.acquisition_candidates / 4;
+  for (size_t c = 0; c < local; ++c) {
+    std::vector<double> u = incumbent;
+    for (size_t j = 0; j < d; ++j) {
+      if (rng_.Bernoulli(std::min(1.0, 3.0 / static_cast<double>(d)))) {
+        u[j] = std::clamp(u[j] + rng_.Gaussian(0.0, 0.15), 0.0, 1.0);
+      }
+    }
+    candidates.push_back(std::move(u));
+  }
+  while (candidates.size() < options_.acquisition_candidates) {
+    std::vector<double> u(d);
+    for (double& v : u) v = rng_.Uniform();
+    candidates.push_back(std::move(u));
+  }
+
+  double best_ei = -1.0;
+  size_t best_candidate = 0;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    // Snap to a feasible configuration before scoring: the GP must judge
+    // the point that will actually be evaluated.
+    const Configuration config = space_.FromUnit(candidates[c]);
+    const std::vector<double> u = space_.ToUnit(config);
+    double mean = 0.0, var = 0.0;
+    gp_.PredictMeanVar(u, &mean, &var);
+    const double ei = ExpectedImprovement(mean, var, best);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_candidate = c;
+    }
+  }
+  return space_.FromUnit(candidates[best_candidate]);
+}
+
+VanillaBoOptimizer::VanillaBoOptimizer(const ConfigurationSpace& space,
+                                       OptimizerOptions options)
+    : GpBoOptimizer(space, options, std::make_unique<RbfKernel>()) {}
+
+}  // namespace dbtune

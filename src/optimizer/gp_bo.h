@@ -1,0 +1,38 @@
+#ifndef DBTUNE_OPTIMIZER_GP_BO_H_
+#define DBTUNE_OPTIMIZER_GP_BO_H_
+
+#include <memory>
+
+#include "optimizer/optimizer.h"
+#include "surrogate/gaussian_process.h"
+
+namespace dbtune {
+
+/// Shared machinery of the GP-based Bayesian optimizers: LHS warm start,
+/// GP refit on the (standardized) history each iteration, and Expected
+/// Improvement maximized over a random + local candidate pool. Subclasses
+/// only choose the kernel.
+class GpBoOptimizer : public Optimizer {
+ public:
+  /// Takes ownership of the kernel.
+  GpBoOptimizer(const ConfigurationSpace& space, OptimizerOptions options,
+                std::unique_ptr<Kernel> kernel);
+
+  Configuration Suggest() override;
+
+ protected:
+  GaussianProcess gp_;
+};
+
+/// Vanilla BO (iTuned / OtterTune style): GP with an RBF kernel over the
+/// scaled encoding, which imposes a natural ordering on categorical knobs.
+class VanillaBoOptimizer final : public GpBoOptimizer {
+ public:
+  VanillaBoOptimizer(const ConfigurationSpace& space,
+                     OptimizerOptions options);
+  std::string name() const override { return "Vanilla BO"; }
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_OPTIMIZER_GP_BO_H_

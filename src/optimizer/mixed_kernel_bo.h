@@ -1,0 +1,20 @@
+#ifndef DBTUNE_OPTIMIZER_MIXED_KERNEL_BO_H_
+#define DBTUNE_OPTIMIZER_MIXED_KERNEL_BO_H_
+
+#include "optimizer/gp_bo.h"
+
+namespace dbtune {
+
+/// Mixed-kernel BO: GP with Matérn-5/2 over continuous knobs times a
+/// Hamming kernel over categorical knobs, which models heterogeneous
+/// spaces without assuming category ordering.
+class MixedKernelBoOptimizer final : public GpBoOptimizer {
+ public:
+  MixedKernelBoOptimizer(const ConfigurationSpace& space,
+                         OptimizerOptions options);
+  std::string name() const override { return "Mixed-Kernel BO"; }
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_OPTIMIZER_MIXED_KERNEL_BO_H_

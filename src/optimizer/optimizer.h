@@ -1,0 +1,129 @@
+#ifndef DBTUNE_OPTIMIZER_OPTIMIZER_H_
+#define DBTUNE_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "knobs/configuration_space.h"
+#include "surrogate/regressor.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dbtune {
+
+/// Options shared by all configuration optimizers.
+struct OptimizerOptions {
+  uint64_t seed = 1;
+  /// LHS warm-start size for the model-based optimizers (the paper
+  /// initializes every BO-based session with 10 LHS configurations).
+  size_t initial_design = 10;
+  /// Candidate pool size when maximizing the acquisition function.
+  size_t acquisition_candidates = 300;
+};
+
+/// The seven optimizer families compared in Section 6 (plus random
+/// search as a sanity baseline).
+enum class OptimizerType {
+  kVanillaBo = 0,
+  kMixedKernelBo,
+  kSmac,
+  kTpe,
+  kTurbo,
+  kDdpg,
+  kGa,
+  kRandomSearch,
+};
+
+/// Display name ("Vanilla BO", "SMAC", ...).
+const char* OptimizerTypeName(OptimizerType type);
+
+/// Iterative suggest/observe configuration optimizer (the paper's
+/// configuration-optimization module).
+///
+/// Protocol: call `Suggest()`, evaluate the configuration on the DBMS,
+/// then report the outcome via `Observe` (or `ObserveWithMetrics` when
+/// internal metrics are available — DDPG requires them for its state).
+/// Scores are in maximize direction.
+class Optimizer {
+ public:
+  Optimizer(const ConfigurationSpace& space, OptimizerOptions options);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Proposes the next configuration to evaluate.
+  virtual Configuration Suggest() = 0;
+
+  /// Reports the score of an evaluated configuration. The base class
+  /// records it into the shared history.
+  virtual void Observe(const Configuration& config, double score);
+
+  /// Reports score plus DBMS internal metrics. Defaults to `Observe`.
+  virtual void ObserveWithMetrics(const Configuration& config, double score,
+                                  const std::vector<double>& metrics);
+
+  /// Score of the default configuration, when known before tuning starts.
+  /// No-op for most optimizers; DDPG anchors its reward on it.
+  virtual void SetReferenceScore(double score) { (void)score; }
+
+  virtual std::string name() const = 0;
+
+  const ConfigurationSpace& space() const { return space_; }
+  size_t num_observations() const { return scores_.size(); }
+  /// Best observed score; requires at least one observation.
+  double best_score() const;
+  /// Configuration achieving `best_score()`.
+  const Configuration& best_config() const;
+
+ protected:
+  /// True while LHS warm-start configurations remain to be suggested.
+  bool InitPending() const {
+    return options_.initial_design > 0 &&
+           (!init_generated_ || init_cursor_ < init_queue_.size());
+  }
+  /// Next LHS warm-start configuration (lazily generates the design).
+  Configuration NextInit();
+
+  /// Standardized copy of `scores_` (mean 0, stddev 1).
+  std::vector<double> StandardizedScores() const;
+
+  ConfigurationSpace space_;
+  OptimizerOptions options_;
+  Rng rng_;
+
+  /// Unit-encoded evaluated configurations, observation order.
+  FeatureMatrix unit_history_;
+  std::vector<Configuration> configs_;
+  std::vector<double> scores_;
+
+ private:
+  std::vector<Configuration> init_queue_;
+  size_t init_cursor_ = 0;
+  bool init_generated_ = false;
+};
+
+/// Expected improvement of predictive (mean, variance) over `best`, for
+/// maximization.
+double ExpectedImprovement(double mean, double variance, double best);
+
+/// Candidate pool for acquisition maximization: uniform random points plus
+/// local perturbations of the best observed configurations. Used by the
+/// transfer-framework optimizers; `scores` aligns with `unit_history`.
+std::vector<std::vector<double>> BuildAcquisitionCandidates(
+    const ConfigurationSpace& space, Rng& rng,
+    const FeatureMatrix& unit_history, const std::vector<double>& scores,
+    size_t total);
+
+/// Instantiates an optimizer of the given type over `space`.
+std::unique_ptr<Optimizer> CreateOptimizer(OptimizerType type,
+                                           const ConfigurationSpace& space,
+                                           OptimizerOptions options = {});
+
+/// All optimizer types compared in Figure 7 / Table 7 (no random search).
+std::vector<OptimizerType> PaperOptimizers();
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_OPTIMIZER_OPTIMIZER_H_

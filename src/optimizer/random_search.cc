@@ -1,0 +1,13 @@
+#include "optimizer/random_search.h"
+
+namespace dbtune {
+
+RandomSearchOptimizer::RandomSearchOptimizer(const ConfigurationSpace& space,
+                                             OptimizerOptions options)
+    : Optimizer(space, options) {}
+
+Configuration RandomSearchOptimizer::Suggest() {
+  return space_.SampleUniform(rng_);
+}
+
+}  // namespace dbtune

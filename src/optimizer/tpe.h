@@ -1,0 +1,55 @@
+#ifndef DBTUNE_OPTIMIZER_TPE_H_
+#define DBTUNE_OPTIMIZER_TPE_H_
+
+#include "optimizer/optimizer.h"
+
+namespace dbtune {
+
+/// TPE-specific options.
+struct TpeOptions {
+  /// Fraction of observations treated as "good" (the gamma quantile).
+  double gamma = 0.15;
+  /// Candidates sampled from the good density per suggestion.
+  size_t num_candidates = 24;
+  /// Minimum observations in the good set.
+  size_t min_good = 4;
+};
+
+/// Tree-structured Parzen Estimator (Bergstra et al. 2011): models
+/// p(x|good) and p(x|bad) with independent per-dimension Parzen
+/// estimators and suggests the candidate maximizing l(x)/g(x).
+///
+/// The per-dimension independence is TPE's documented weakness on
+/// configuration spaces with knob interactions (paper §6.2.1).
+class TpeOptimizer final : public Optimizer {
+ public:
+  TpeOptimizer(const ConfigurationSpace& space, OptimizerOptions options,
+               TpeOptions tpe_options = {});
+
+  Configuration Suggest() override;
+  std::string name() const override { return "TPE"; }
+
+ private:
+  /// Per-dimension Parzen estimator over either numeric values (Gaussian
+  /// KDE) or categories (smoothed frequencies).
+  struct DimensionDensity {
+    bool categorical = false;
+    // Numeric: kernel centers and shared bandwidth.
+    std::vector<double> centers;
+    double bandwidth = 0.1;
+    // Categorical: smoothed probability per category.
+    std::vector<double> category_probs;
+  };
+
+  DimensionDensity FitDimension(size_t dim,
+                                const std::vector<size_t>& sample_ids) const;
+  double SampleFromDimension(const DimensionDensity& density, size_t dim);
+  static double DensityAt(const DimensionDensity& density, double value,
+                          size_t num_categories);
+
+  TpeOptions tpe_options_;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_OPTIMIZER_TPE_H_

@@ -1,0 +1,58 @@
+#ifndef DBTUNE_OPTIMIZER_TURBO_H_
+#define DBTUNE_OPTIMIZER_TURBO_H_
+
+#include <memory>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "surrogate/gaussian_process.h"
+
+namespace dbtune {
+
+/// TuRBO-specific options (Eriksson et al. 2019).
+struct TurboOptions {
+  size_t num_trust_regions = 2;
+  double initial_length = 0.4;
+  double min_length = 0.01;
+  double max_length = 1.0;
+  size_t success_tolerance = 3;
+  size_t failure_tolerance = 5;
+  size_t candidates_per_region = 50;
+};
+
+/// Trust-region Bayesian optimization: several local GP models, each
+/// confined to a shrinking/expanding box around its incumbent; Thompson
+/// sampling arbitrates between regions (the multi-armed-bandit strategy).
+/// Local modeling avoids the over-exploration global GPs suffer in high
+/// dimensions.
+class TurboOptimizer final : public Optimizer {
+ public:
+  TurboOptimizer(const ConfigurationSpace& space, OptimizerOptions options,
+                 TurboOptions turbo_options = {});
+
+  Configuration Suggest() override;
+  void Observe(const Configuration& config, double score) override;
+  std::string name() const override { return "TuRBO"; }
+
+ private:
+  struct TrustRegion {
+    std::vector<double> center;  // unit coordinates
+    double length = 0.4;
+    double best_score = -1e300;
+    size_t successes = 0;
+    size_t failures = 0;
+  };
+
+  void RestartRegion(TrustRegion* region);
+  /// Sample ids whose unit points fall inside the region's box.
+  std::vector<size_t> PointsInRegion(const TrustRegion& region) const;
+
+  TurboOptions turbo_options_;
+  std::vector<TrustRegion> regions_;
+  /// Region that produced the last suggestion (for counter updates).
+  int last_region_ = -1;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_OPTIMIZER_TURBO_H_

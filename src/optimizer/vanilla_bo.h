@@ -1,0 +1,7 @@
+#ifndef DBTUNE_OPTIMIZER_VANILLA_BO_H_
+#define DBTUNE_OPTIMIZER_VANILLA_BO_H_
+
+// Vanilla BO lives with the shared GP-BO machinery.
+#include "optimizer/gp_bo.h"  // IWYU pragma: export
+
+#endif  // DBTUNE_OPTIMIZER_VANILLA_BO_H_

@@ -1,0 +1,29 @@
+#include "sampling/latin_hypercube.h"
+
+namespace dbtune {
+
+std::vector<std::vector<double>> LatinHypercubeUnit(size_t count, size_t dim,
+                                                    Rng& rng) {
+  std::vector<std::vector<double>> points(count, std::vector<double>(dim));
+  for (size_t d = 0; d < dim; ++d) {
+    std::vector<size_t> perm = rng.Permutation(count);
+    for (size_t i = 0; i < count; ++i) {
+      const double lo = static_cast<double>(perm[i]) /
+                        static_cast<double>(count);
+      points[i][d] = lo + rng.Uniform() / static_cast<double>(count);
+    }
+  }
+  return points;
+}
+
+std::vector<Configuration> LatinHypercubeSample(const ConfigurationSpace& space,
+                                                size_t count, Rng& rng) {
+  std::vector<Configuration> configs;
+  configs.reserve(count);
+  for (const auto& unit : LatinHypercubeUnit(count, space.dimension(), rng)) {
+    configs.push_back(space.FromUnit(unit));
+  }
+  return configs;
+}
+
+}  // namespace dbtune

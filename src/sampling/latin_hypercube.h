@@ -1,0 +1,25 @@
+#ifndef DBTUNE_SAMPLING_LATIN_HYPERCUBE_H_
+#define DBTUNE_SAMPLING_LATIN_HYPERCUBE_H_
+
+#include <vector>
+
+#include "knobs/configuration_space.h"
+#include "util/random.h"
+
+namespace dbtune {
+
+/// Latin Hypercube Sampling (McKay 1992): `count` points in [0,1]^dim such
+/// that each dimension is stratified into `count` equal bins with exactly
+/// one point per bin.
+std::vector<std::vector<double>> LatinHypercubeUnit(size_t count, size_t dim,
+                                                    Rng& rng);
+
+/// LHS directly over a configuration space (decodes unit points into valid
+/// configurations). This is the initial design used by the BO-based
+/// optimizers and the data-collection step of the surrogate benchmark.
+std::vector<Configuration> LatinHypercubeSample(const ConfigurationSpace& space,
+                                                size_t count, Rng& rng);
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_SAMPLING_LATIN_HYPERCUBE_H_

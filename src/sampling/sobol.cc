@@ -1,0 +1,78 @@
+#include "sampling/sobol.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+namespace {
+
+// Returns the first `n` primes (bases for the Halton sequence).
+std::vector<uint32_t> FirstPrimes(size_t n) {
+  std::vector<uint32_t> primes;
+  uint32_t candidate = 2;
+  while (primes.size() < n) {
+    bool is_prime = true;
+    for (uint32_t p : primes) {
+      if (p * p > candidate) break;
+      if (candidate % p == 0) {
+        is_prime = false;
+        break;
+      }
+    }
+    if (is_prime) primes.push_back(candidate);
+    ++candidate;
+  }
+  return primes;
+}
+
+}  // namespace
+
+QuasiRandomSequence::QuasiRandomSequence(size_t dim, Rng& rng)
+    : dim_(dim), bases_(FirstPrimes(dim)) {
+  perms_.reserve(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    // Random permutation of digits 0..base-1 that keeps 0 fixed so the
+    // sequence stays well-distributed near the origin.
+    std::vector<uint32_t> perm(bases_[d]);
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (size_t i = perm.size() - 1; i > 1; --i) {
+      size_t j = 1 + rng.Index(i);  // never swaps slot 0
+      std::swap(perm[i], perm[j]);
+    }
+    perms_.push_back(std::move(perm));
+  }
+}
+
+std::vector<double> QuasiRandomSequence::Next() {
+  ++index_;  // Halton index 0 is the origin; skip it.
+  std::vector<double> point(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    const uint32_t base = bases_[d];
+    const std::vector<uint32_t>& perm = perms_[d];
+    double f = 1.0;
+    double value = 0.0;
+    size_t i = index_;
+    while (i > 0) {
+      f /= static_cast<double>(base);
+      value += f * static_cast<double>(perm[i % base]);
+      i /= base;
+    }
+    point[d] = value;
+  }
+  return point;
+}
+
+std::vector<Configuration> QuasiRandomSequence::Sample(
+    const ConfigurationSpace& space, size_t count) {
+  DBTUNE_CHECK(space.dimension() == dim_);
+  std::vector<Configuration> configs;
+  configs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    configs.push_back(space.FromUnit(Next()));
+  }
+  return configs;
+}
+
+}  // namespace dbtune

@@ -1,0 +1,36 @@
+#ifndef DBTUNE_SAMPLING_SOBOL_H_
+#define DBTUNE_SAMPLING_SOBOL_H_
+
+#include <vector>
+
+#include "knobs/configuration_space.h"
+#include "util/random.h"
+
+namespace dbtune {
+
+/// Low-discrepancy sequence generator (randomly scrambled Halton). Used as
+/// an alternative space-filling design where incremental generation is
+/// preferred over LHS's fixed-count stratification.
+class QuasiRandomSequence {
+ public:
+  /// `dim` dimensions; `rng` seeds the per-dimension digit scrambling.
+  QuasiRandomSequence(size_t dim, Rng& rng);
+
+  /// The next point in [0,1)^dim.
+  std::vector<double> Next();
+
+  /// Generates `count` configurations over `space`.
+  std::vector<Configuration> Sample(const ConfigurationSpace& space,
+                                    size_t count);
+
+ private:
+  size_t dim_;
+  size_t index_ = 0;
+  std::vector<uint32_t> bases_;
+  // Per-dimension digit permutations (scrambling), indexed by base.
+  std::vector<std::vector<uint32_t>> perms_;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_SAMPLING_SOBOL_H_

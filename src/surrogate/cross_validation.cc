@@ -1,0 +1,73 @@
+#include "surrogate/cross_validation.h"
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace dbtune {
+
+std::vector<size_t> KFoldAssignment(size_t num_samples, size_t k, Rng& rng) {
+  DBTUNE_CHECK(k >= 2 && num_samples >= k);
+  std::vector<size_t> fold(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) fold[i] = i % k;
+  rng.Shuffle(fold);
+  return fold;
+}
+
+Result<RegressionQuality> CrossValidate(const RegressorFactory& factory,
+                                        const FeatureMatrix& x,
+                                        const std::vector<double>& y, size_t k,
+                                        Rng& rng) {
+  DBTUNE_RETURN_IF_ERROR(ValidateTrainingData(x, y));
+  if (k < 2 || x.size() < k) {
+    return Status::InvalidArgument("need k >= 2 and at least k samples");
+  }
+  const std::vector<size_t> fold = KFoldAssignment(x.size(), k, rng);
+
+  std::vector<double> truth;
+  std::vector<double> predicted;
+  truth.reserve(x.size());
+  predicted.reserve(x.size());
+
+  for (size_t f = 0; f < k; ++f) {
+    FeatureMatrix train_x, test_x;
+    std::vector<double> train_y, test_y;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (fold[i] == f) {
+        test_x.push_back(x[i]);
+        test_y.push_back(y[i]);
+      } else {
+        train_x.push_back(x[i]);
+        train_y.push_back(y[i]);
+      }
+    }
+    std::unique_ptr<Regressor> model = factory();
+    DBTUNE_RETURN_IF_ERROR(model->Fit(train_x, train_y));
+    for (size_t i = 0; i < test_x.size(); ++i) {
+      truth.push_back(test_y[i]);
+      predicted.push_back(model->Predict(test_x[i]));
+    }
+  }
+
+  RegressionQuality quality;
+  quality.rmse = Rmse(truth, predicted);
+  quality.r_squared = RSquared(truth, predicted);
+  return quality;
+}
+
+Result<RegressionQuality> TrainTestEvaluate(Regressor* model,
+                                            const FeatureMatrix& train_x,
+                                            const std::vector<double>& train_y,
+                                            const FeatureMatrix& test_x,
+                                            const std::vector<double>& test_y) {
+  DBTUNE_CHECK(model != nullptr);
+  DBTUNE_RETURN_IF_ERROR(model->Fit(train_x, train_y));
+  std::vector<double> predicted;
+  predicted.reserve(test_x.size());
+  for (const auto& row : test_x) predicted.push_back(model->Predict(row));
+  RegressionQuality quality;
+  quality.rmse = Rmse(test_y, predicted);
+  quality.r_squared = RSquared(test_y, predicted);
+  return quality;
+}
+
+}  // namespace dbtune

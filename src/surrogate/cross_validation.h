@@ -1,0 +1,41 @@
+#ifndef DBTUNE_SURROGATE_CROSS_VALIDATION_H_
+#define DBTUNE_SURROGATE_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "surrogate/regressor.h"
+#include "util/random.h"
+
+namespace dbtune {
+
+/// Quality of a regression model on held-out data.
+struct RegressionQuality {
+  double rmse = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Creates a fresh, unfitted model (cross-validation fits one per fold).
+using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
+
+/// Shuffled k-fold assignment: `fold[i]` in [0, k) for each sample.
+std::vector<size_t> KFoldAssignment(size_t num_samples, size_t k, Rng& rng);
+
+/// k-fold cross-validation of a model family on (x, y). Returns pooled
+/// out-of-fold RMSE and R² (the paper's Table 9 metrics).
+Result<RegressionQuality> CrossValidate(const RegressorFactory& factory,
+                                        const FeatureMatrix& x,
+                                        const std::vector<double>& y, size_t k,
+                                        Rng& rng);
+
+/// Fits on a train split and evaluates on a test split (no folding).
+Result<RegressionQuality> TrainTestEvaluate(Regressor* model,
+                                            const FeatureMatrix& train_x,
+                                            const std::vector<double>& train_y,
+                                            const FeatureMatrix& test_x,
+                                            const std::vector<double>& test_y);
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_SURROGATE_CROSS_VALIDATION_H_

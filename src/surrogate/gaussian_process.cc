@@ -1,0 +1,118 @@
+#include "surrogate/gaussian_process.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace dbtune {
+
+GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel,
+                                 GaussianProcessOptions options)
+    : kernel_(std::move(kernel)), options_(options) {
+  DBTUNE_CHECK(kernel_ != nullptr);
+  DBTUNE_CHECK(!options_.lengthscale_grid.empty());
+  DBTUNE_CHECK(!options_.noise_grid.empty());
+}
+
+Result<double> GaussianProcess::FitWith(double lengthscale, double noise) {
+  const size_t n = x_.size();
+  kernel_->set_lengthscale(lengthscale);
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = kernel_->Compute(x_[i], x_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  k.AddDiagonal(noise + 1e-10);
+  DBTUNE_RETURN_IF_ERROR(CholeskyFactorize(&k));
+  // alpha = K^-1 y via two triangular solves.
+  std::vector<double> tmp = SolveLowerTriangular(k, y_standardized_);
+  std::vector<double> alpha = SolveUpperTriangularFromLower(k, tmp);
+
+  double lml = -0.5 * Dot(y_standardized_, alpha);
+  for (size_t i = 0; i < n; ++i) lml -= std::log(k(i, i));
+  lml -= 0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+
+  chol_ = std::move(k);
+  alpha_ = std::move(alpha);
+  noise_ = noise;
+  return lml;
+}
+
+Status GaussianProcess::Fit(const FeatureMatrix& x,
+                            const std::vector<double>& y) {
+  DBTUNE_RETURN_IF_ERROR(ValidateTrainingData(x, y));
+  x_ = x;
+  y_mean_ = Mean(y);
+  y_scale_ = StdDev(y);
+  if (y_scale_ < 1e-12) y_scale_ = 1.0;
+  y_standardized_.resize(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    y_standardized_[i] = (y[i] - y_mean_) / y_scale_;
+  }
+
+  const bool do_hyperopt = !fitted_ || fits_since_hyperopt_ == 0;
+  fits_since_hyperopt_ =
+      (fits_since_hyperopt_ + 1) % std::max<size_t>(1, options_.hyperopt_every);
+
+  if (!do_hyperopt) {
+    Result<double> lml = FitWith(kernel_->lengthscale(), noise_);
+    if (lml.ok()) {
+      lml_ = *lml;
+      fitted_ = true;
+      return Status::OK();
+    }
+    // Fall through to a full search when the cached choice fails.
+  }
+
+  double best_lml = -1e300;
+  double best_ls = options_.lengthscale_grid.front();
+  double best_noise = options_.noise_grid.front();
+  bool any = false;
+  for (double ls : options_.lengthscale_grid) {
+    for (double noise : options_.noise_grid) {
+      Result<double> lml = FitWith(ls, noise);
+      if (!lml.ok()) continue;
+      if (!any || *lml > best_lml) {
+        any = true;
+        best_lml = *lml;
+        best_ls = ls;
+        best_noise = noise;
+      }
+    }
+  }
+  if (!any) return Status::Internal("GP fit failed for all hyper-parameters");
+  Result<double> final_lml = FitWith(best_ls, best_noise);
+  if (!final_lml.ok()) return final_lml.status();
+  lml_ = *final_lml;
+  fitted_ = true;
+  return Status::OK();
+}
+
+double GaussianProcess::Predict(const std::vector<double>& x) const {
+  double mean = 0.0, variance = 0.0;
+  PredictMeanVar(x, &mean, &variance);
+  return mean;
+}
+
+void GaussianProcess::PredictMeanVar(const std::vector<double>& x,
+                                     double* mean, double* variance) const {
+  DBTUNE_CHECK_MSG(fitted_, "Predict before Fit");
+  const size_t n = x_.size();
+  std::vector<double> k_star(n);
+  for (size_t i = 0; i < n; ++i) k_star[i] = kernel_->Compute(x_[i], x);
+
+  double mu = Dot(k_star, alpha_);
+  // v = L^-1 k_star; var = k(x,x) - v'v.
+  std::vector<double> v = SolveLowerTriangular(chol_, k_star);
+  double var = kernel_->Compute(x, x) - Dot(v, v);
+  if (var < 1e-12) var = 1e-12;
+
+  *mean = mu * y_scale_ + y_mean_;
+  *variance = var * y_scale_ * y_scale_;
+}
+
+}  // namespace dbtune

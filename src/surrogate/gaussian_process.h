@@ -1,0 +1,67 @@
+#ifndef DBTUNE_SURROGATE_GAUSSIAN_PROCESS_H_
+#define DBTUNE_SURROGATE_GAUSSIAN_PROCESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "surrogate/kernels.h"
+#include "surrogate/regressor.h"
+#include "util/matrix.h"
+
+namespace dbtune {
+
+/// Hyper-parameters of the Gaussian-process surrogate.
+struct GaussianProcessOptions {
+  /// Lengthscale candidates for marginal-likelihood grid search.
+  std::vector<double> lengthscale_grid = {0.1, 0.2, 0.4, 0.8, 1.6};
+  /// Noise-variance candidates (targets are standardized).
+  std::vector<double> noise_grid = {1e-4, 1e-2, 5e-2};
+  /// Re-run the hyper-parameter grid search only every k-th Fit; in
+  /// between, reuse the last selected hyper-parameters (keeps the cubic
+  /// cost of iterative BO in check). 1 = always.
+  size_t hyperopt_every = 5;
+};
+
+/// Gaussian-process regression (Eq. 3 of the paper) with a pluggable
+/// kernel and grid-searched hyper-parameters. Targets are standardized
+/// internally; predictive variance is reported in original units.
+class GaussianProcess final : public Regressor {
+ public:
+  /// Takes ownership of `kernel`.
+  GaussianProcess(std::unique_ptr<Kernel> kernel,
+                  GaussianProcessOptions options = {});
+
+  Status Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+  void PredictMeanVar(const std::vector<double>& x, double* mean,
+                      double* variance) const override;
+  std::string name() const override { return "GP-" + kernel_->name(); }
+
+  /// Log marginal likelihood of the current fit (standardized targets).
+  double log_marginal_likelihood() const { return lml_; }
+  const Kernel& kernel() const { return *kernel_; }
+  size_t num_observations() const { return x_.size(); }
+
+ private:
+  /// Builds K + noise*I, factorizes, computes alpha; returns the LML.
+  Result<double> FitWith(double lengthscale, double noise);
+
+  std::unique_ptr<Kernel> kernel_;
+  GaussianProcessOptions options_;
+
+  FeatureMatrix x_;
+  std::vector<double> y_standardized_;
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+
+  Matrix chol_;                 // lower Cholesky factor of K + noise I
+  std::vector<double> alpha_;   // (K + noise I)^-1 y
+  double noise_ = 1e-4;
+  double lml_ = 0.0;
+  size_t fits_since_hyperopt_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_SURROGATE_GAUSSIAN_PROCESS_H_

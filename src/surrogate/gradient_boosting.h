@@ -1,0 +1,44 @@
+#ifndef DBTUNE_SURROGATE_GRADIENT_BOOSTING_H_
+#define DBTUNE_SURROGATE_GRADIENT_BOOSTING_H_
+
+#include <vector>
+
+#include "surrogate/regression_tree.h"
+#include "surrogate/regressor.h"
+
+namespace dbtune {
+
+/// Hyper-parameters of the gradient-boosted trees model.
+struct GradientBoostingOptions {
+  size_t num_rounds = 120;
+  double learning_rate = 0.08;
+  size_t max_depth = 5;
+  size_t min_samples_leaf = 3;
+  /// Row subsampling fraction per round (stochastic gradient boosting).
+  double subsample = 0.8;
+  uint64_t seed = 29;
+};
+
+/// Gradient boosting with squared loss: each round fits a shallow CART
+/// tree to the current residuals. One of the candidate surrogates of the
+/// paper's Table 9 ("GB").
+class GradientBoosting final : public Regressor {
+ public:
+  explicit GradientBoosting(GradientBoostingOptions options = {});
+
+  Status Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+  std::string name() const override { return "GB"; }
+
+  bool fitted() const { return !trees_.empty() || base_fitted_; }
+
+ private:
+  GradientBoostingOptions options_;
+  double base_prediction_ = 0.0;
+  bool base_fitted_ = false;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_SURROGATE_GRADIENT_BOOSTING_H_

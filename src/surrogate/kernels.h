@@ -1,0 +1,76 @@
+#ifndef DBTUNE_SURROGATE_KERNELS_H_
+#define DBTUNE_SURROGATE_KERNELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dbtune {
+
+/// Covariance function over unit-encoded configurations. Distances are
+/// dimension-normalized (mean per-dimension contribution) so the same
+/// lengthscale grid works across spaces of different sizes.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// k(a, b); inputs must have equal size.
+  virtual double Compute(const std::vector<double>& a,
+                         const std::vector<double>& b) const = 0;
+
+  /// Shared lengthscale hyper-parameter (tuned by the GP via grid search).
+  void set_lengthscale(double lengthscale) { lengthscale_ = lengthscale; }
+  double lengthscale() const { return lengthscale_; }
+
+  virtual std::string name() const = 0;
+
+ protected:
+  double lengthscale_ = 0.5;
+};
+
+/// Squared-exponential kernel (vanilla BO / OtterTune). Assumes a natural
+/// ordering of values in every dimension — including categorical ones,
+/// which is exactly the weakness the heterogeneity experiment probes.
+class RbfKernel final : public Kernel {
+ public:
+  double Compute(const std::vector<double>& a,
+                 const std::vector<double>& b) const override;
+  std::string name() const override { return "RBF"; }
+};
+
+/// Matérn-5/2 kernel: the standard choice for continuous hyper-parameter
+/// surfaces (less smooth than RBF).
+class Matern52Kernel final : public Kernel {
+ public:
+  double Compute(const std::vector<double>& a,
+                 const std::vector<double>& b) const override;
+  std::string name() const override { return "Matern52"; }
+};
+
+/// Hamming kernel for categorical dimensions: exp(-h/ls) where h is the
+/// fraction of differing entries. Treats categories as unordered symbols.
+class HammingKernel final : public Kernel {
+ public:
+  double Compute(const std::vector<double>& a,
+                 const std::vector<double>& b) const override;
+  std::string name() const override { return "Hamming"; }
+};
+
+/// The mixed kernel of mixed-kernel BO: Matérn-5/2 over the continuous
+/// dimensions times Hamming over the categorical dimensions.
+class MixedKernel final : public Kernel {
+ public:
+  /// `is_categorical[d]` marks dimension d as categorical.
+  explicit MixedKernel(std::vector<bool> is_categorical);
+
+  double Compute(const std::vector<double>& a,
+                 const std::vector<double>& b) const override;
+  std::string name() const override { return "Mixed"; }
+
+ private:
+  std::vector<bool> is_categorical_;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_SURROGATE_KERNELS_H_

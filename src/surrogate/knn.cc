@@ -1,0 +1,41 @@
+#include "surrogate/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/matrix.h"
+
+namespace dbtune {
+
+KnnRegressor::KnnRegressor(KnnOptions options) : options_(options) {}
+
+Status KnnRegressor::Fit(const FeatureMatrix& x, const std::vector<double>& y) {
+  DBTUNE_RETURN_IF_ERROR(ValidateTrainingData(x, y));
+  x_ = x;
+  y_ = y;
+  return Status::OK();
+}
+
+double KnnRegressor::Predict(const std::vector<double>& x) const {
+  DBTUNE_CHECK_MSG(!x_.empty(), "Predict before Fit");
+  const size_t k = std::min(options_.k, x_.size());
+  std::vector<std::pair<double, size_t>> distances(x_.size());
+  for (size_t i = 0; i < x_.size(); ++i) {
+    distances[i] = {SquaredDistance(x_[i], x), i};
+  }
+  std::partial_sort(distances.begin(),
+                    distances.begin() + static_cast<long>(k),
+                    distances.end());
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double w = options_.distance_weighted
+                         ? 1.0 / (std::sqrt(distances[i].first) + 1e-8)
+                         : 1.0;
+    num += w * y_[distances[i].second];
+    den += w;
+  }
+  return num / den;
+}
+
+}  // namespace dbtune

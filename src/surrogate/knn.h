@@ -1,0 +1,35 @@
+#ifndef DBTUNE_SURROGATE_KNN_H_
+#define DBTUNE_SURROGATE_KNN_H_
+
+#include <vector>
+
+#include "surrogate/regressor.h"
+
+namespace dbtune {
+
+/// Hyper-parameters of the k-nearest-neighbours regressor.
+struct KnnOptions {
+  size_t k = 8;
+  /// Inverse-distance weighting of neighbour targets (uniform otherwise).
+  bool distance_weighted = true;
+};
+
+/// Brute-force k-NN regression over Euclidean distance in the encoded
+/// space. One of the candidate surrogates of the paper's Table 9 ("KNN").
+class KnnRegressor final : public Regressor {
+ public:
+  explicit KnnRegressor(KnnOptions options = {});
+
+  Status Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+  std::string name() const override { return "KNN"; }
+
+ private:
+  KnnOptions options_;
+  FeatureMatrix x_;
+  std::vector<double> y_;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_SURROGATE_KNN_H_

@@ -1,0 +1,96 @@
+#include "surrogate/random_forest.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace dbtune {
+
+RandomForest::RandomForest(RandomForestOptions options)
+    : options_(options), rng_(options.seed) {}
+
+Status RandomForest::Fit(const FeatureMatrix& x, const std::vector<double>& y) {
+  DBTUNE_RETURN_IF_ERROR(ValidateTrainingData(x, y));
+  num_features_ = x.front().size();
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+
+  size_t max_features = options_.max_features;
+  if (max_features == 0 && options_.sqrt_features) {
+    max_features = std::max<size_t>(
+        1, static_cast<size_t>(std::round(std::sqrt(
+               static_cast<double>(num_features_)))) * 2);
+    max_features = std::min(max_features, num_features_);
+  }
+
+  const size_t n = x.size();
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    RegressionTreeOptions tree_options;
+    tree_options.max_depth = options_.max_depth;
+    tree_options.min_samples_split = options_.min_samples_split;
+    tree_options.min_samples_leaf = options_.min_samples_leaf;
+    tree_options.max_features = max_features;
+    tree_options.seed = rng_.engine()();
+
+    RegressionTree tree(tree_options);
+    if (options_.bootstrap) {
+      FeatureMatrix bx;
+      std::vector<double> by;
+      bx.reserve(n);
+      by.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        const size_t pick = rng_.Index(n);
+        bx.push_back(x[pick]);
+        by.push_back(y[pick]);
+      }
+      DBTUNE_RETURN_IF_ERROR(tree.Fit(bx, by));
+    } else {
+      DBTUNE_RETURN_IF_ERROR(tree.Fit(x, y));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForest::Predict(const std::vector<double>& x) const {
+  double mean = 0.0, variance = 0.0;
+  PredictMeanVar(x, &mean, &variance);
+  return mean;
+}
+
+void RandomForest::PredictMeanVar(const std::vector<double>& x, double* mean,
+                                  double* variance) const {
+  DBTUNE_CHECK_MSG(fitted(), "Predict before Fit");
+  std::vector<double> predictions;
+  predictions.reserve(trees_.size());
+  for (const RegressionTree& tree : trees_) {
+    predictions.push_back(tree.Predict(x));
+  }
+  *mean = Mean(predictions);
+  *variance = Variance(predictions);
+}
+
+std::vector<double> RandomForest::SplitCountImportance() const {
+  DBTUNE_CHECK_MSG(fitted(), "importance before Fit");
+  std::vector<double> importance(num_features_, 0.0);
+  for (const RegressionTree& tree : trees_) {
+    const std::vector<size_t>& counts = tree.split_counts();
+    for (size_t f = 0; f < num_features_; ++f) {
+      importance[f] += static_cast<double>(counts[f]);
+    }
+  }
+  return importance;
+}
+
+std::vector<double> RandomForest::ImpurityImportance() const {
+  DBTUNE_CHECK_MSG(fitted(), "importance before Fit");
+  std::vector<double> importance(num_features_, 0.0);
+  for (const RegressionTree& tree : trees_) {
+    const std::vector<double>& imp = tree.impurity_importance();
+    for (size_t f = 0; f < num_features_; ++f) importance[f] += imp[f];
+  }
+  return importance;
+}
+
+}  // namespace dbtune

@@ -1,0 +1,21 @@
+#include "surrogate/regressor.h"
+
+namespace dbtune {
+
+Status ValidateTrainingData(const FeatureMatrix& x,
+                            const std::vector<double>& y) {
+  if (x.empty()) return Status::InvalidArgument("empty training set");
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x/y size mismatch");
+  }
+  const size_t width = x.front().size();
+  if (width == 0) return Status::InvalidArgument("zero-width features");
+  for (const auto& row : x) {
+    if (row.size() != width) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dbtune

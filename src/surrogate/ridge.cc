@@ -1,0 +1,71 @@
+#include "surrogate/ridge.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/matrix.h"
+#include "util/stats.h"
+
+namespace dbtune {
+
+RidgeRegression::RidgeRegression(RidgeOptions options) : options_(options) {}
+
+Status RidgeRegression::Fit(const FeatureMatrix& x,
+                            const std::vector<double>& y) {
+  DBTUNE_RETURN_IF_ERROR(ValidateTrainingData(x, y));
+  const size_t n = x.size();
+  const size_t d = x.front().size();
+
+  feature_mean_.assign(d, 0.0);
+  feature_scale_.assign(d, 1.0);
+  for (size_t j = 0; j < d; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) sum += x[i][j];
+    feature_mean_[j] = sum / static_cast<double>(n);
+    double sq = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double c = x[i][j] - feature_mean_[j];
+      sq += c * c;
+    }
+    const double sd = std::sqrt(sq / static_cast<double>(n));
+    feature_scale_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  intercept_ = Mean(y);
+
+  // Normal equations on standardized features: (Z^T Z + alpha I) w = Z^T r.
+  Matrix gram(d, d, 0.0);
+  std::vector<double> rhs(d, 0.0);
+  std::vector<double> z(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      z[j] = (x[i][j] - feature_mean_[j]) / feature_scale_[j];
+    }
+    const double r = y[i] - intercept_;
+    for (size_t j = 0; j < d; ++j) {
+      rhs[j] += z[j] * r;
+      for (size_t k = j; k < d; ++k) gram(j, k) += z[j] * z[k];
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t k = 0; k < j; ++k) gram(j, k) = gram(k, j);
+  }
+  gram.AddDiagonal(options_.alpha);
+
+  Result<std::vector<double>> solution = SolveSpd(gram, rhs);
+  if (!solution.ok()) return solution.status();
+  coef_ = std::move(solution.value());
+  fitted_ = true;
+  return Status::OK();
+}
+
+double RidgeRegression::Predict(const std::vector<double>& x) const {
+  DBTUNE_CHECK_MSG(fitted_, "Predict before Fit");
+  DBTUNE_CHECK(x.size() == coef_.size());
+  double out = intercept_;
+  for (size_t j = 0; j < coef_.size(); ++j) {
+    out += coef_[j] * (x[j] - feature_mean_[j]) / feature_scale_[j];
+  }
+  return out;
+}
+
+}  // namespace dbtune

@@ -1,0 +1,56 @@
+#include "transfer/fine_tune.h"
+
+#include "dbms/environment.h"
+#include "dbms/simulator.h"
+#include "util/logging.h"
+
+namespace dbtune {
+
+Result<DdpgOptimizer::Weights> PretrainDdpgOnSources(
+    const std::vector<WorkloadId>& sources,
+    const std::vector<size_t>& knob_indices, const PretrainOptions& options,
+    ObservationRepository* repository) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("need at least one source workload");
+  }
+
+  DdpgOptimizer::Weights weights;
+  bool have_weights = false;
+  uint64_t seed = options.seed;
+
+  for (WorkloadId source : sources) {
+    DbmsSimulator simulator(source, options.hardware, seed);
+    TuningEnvironment env(&simulator, knob_indices);
+    OptimizerOptions optimizer_options;
+    optimizer_options.seed = seed++;
+    DdpgOptimizer ddpg(env.space(), optimizer_options);
+    if (have_weights) {
+      DBTUNE_RETURN_IF_ERROR(ddpg.ImportWeights(weights));
+    }
+    ddpg.SetReferenceScore(env.default_score());
+
+    for (size_t iter = 0; iter < options.iterations_per_source; ++iter) {
+      const Configuration config = ddpg.Suggest();
+      const Observation obs = env.Evaluate(config);
+      ddpg.ObserveWithMetrics(obs.config, obs.score, obs.internal_metrics);
+    }
+
+    weights = ddpg.ExportWeights();
+    have_weights = true;
+    if (repository != nullptr) {
+      repository->AddTask(ObservationRepository::FromHistory(
+          WorkloadName(source), env.space(), env.history()));
+    }
+  }
+  return weights;
+}
+
+Result<std::unique_ptr<DdpgOptimizer>> MakeFineTunedDdpg(
+    const ConfigurationSpace& space, OptimizerOptions options,
+    const DdpgOptimizer::Weights& pretrained) {
+  auto ddpg = std::make_unique<DdpgOptimizer>(space, options);
+  DBTUNE_RETURN_IF_ERROR(ddpg->ImportWeights(pretrained));
+  return ddpg;
+}
+
+}  // namespace dbtune

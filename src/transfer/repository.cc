@@ -1,0 +1,46 @@
+#include "transfer/repository.h"
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace dbtune {
+
+SourceTask ObservationRepository::FromHistory(
+    std::string name, const ConfigurationSpace& space,
+    const std::vector<Observation>& history) {
+  SourceTask task;
+  task.name = std::move(name);
+  task.unit_x.reserve(history.size());
+  task.scores.reserve(history.size());
+  std::vector<double> metric_sum;
+  size_t successful = 0;
+  for (const Observation& obs : history) {
+    task.unit_x.push_back(space.ToUnit(obs.config));
+    task.scores.push_back(obs.score);
+    if (!obs.failed && !obs.internal_metrics.empty()) {
+      if (metric_sum.empty()) {
+        metric_sum.assign(obs.internal_metrics.size(), 0.0);
+      }
+      for (size_t m = 0; m < metric_sum.size(); ++m) {
+        metric_sum[m] += obs.internal_metrics[m];
+      }
+      ++successful;
+    }
+  }
+  if (successful > 0) {
+    for (double& v : metric_sum) v /= static_cast<double>(successful);
+    task.metric_signature = std::move(metric_sum);
+  }
+  return task;
+}
+
+std::vector<double> StandardizeScores(const std::vector<double>& scores) {
+  std::vector<double> out = scores;
+  const double mean = Mean(out);
+  double sd = StdDev(out);
+  if (sd < 1e-12) sd = 1.0;
+  for (double& v : out) v = (v - mean) / sd;
+  return out;
+}
+
+}  // namespace dbtune

@@ -1,0 +1,50 @@
+#ifndef DBTUNE_TRANSFER_REPOSITORY_H_
+#define DBTUNE_TRANSFER_REPOSITORY_H_
+
+#include <string>
+#include <vector>
+
+#include "dbms/environment.h"
+#include "knobs/configuration_space.h"
+#include "surrogate/regressor.h"
+
+namespace dbtune {
+
+/// Historical observations of one tuning task (the tuning server's data
+/// repository entry): configurations, maximize-direction scores, and the
+/// task's internal-metric signature used by workload mapping.
+struct SourceTask {
+  std::string name;
+  FeatureMatrix unit_x;
+  std::vector<double> scores;
+  /// Mean internal metrics over the task's successful observations.
+  std::vector<double> metric_signature;
+};
+
+/// Repository of past tuning tasks, the input to the knowledge-transfer
+/// frameworks.
+class ObservationRepository {
+ public:
+  void AddTask(SourceTask task) { tasks_.push_back(std::move(task)); }
+  const std::vector<SourceTask>& tasks() const { return tasks_; }
+  size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+
+  /// Builds a task record from a finished session's history. Failed
+  /// observations keep their substituted scores; metric signatures are
+  /// averaged over successful ones only.
+  static SourceTask FromHistory(std::string name,
+                                const ConfigurationSpace& space,
+                                const std::vector<Observation>& history);
+
+ private:
+  std::vector<SourceTask> tasks_;
+};
+
+/// Per-task standardized scores (mean 0, stddev 1) — transfer frameworks
+/// compare tasks on relative, not absolute, performance.
+std::vector<double> StandardizeScores(const std::vector<double>& scores);
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_TRANSFER_REPOSITORY_H_

@@ -1,0 +1,173 @@
+#include "transfer/rgpe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+RgpeOptimizer::RgpeOptimizer(const ConfigurationSpace& space,
+                             OptimizerOptions options,
+                             const ObservationRepository* repository,
+                             TransferBase base, RgpeOptions rgpe_options)
+    : Optimizer(space, options),
+      repository_(repository),
+      base_(base),
+      rgpe_options_(rgpe_options) {
+  DBTUNE_CHECK(repository_ != nullptr);
+}
+
+std::string RgpeOptimizer::name() const {
+  return std::string("RGPE (") + TransferBaseName(base_) + ")";
+}
+
+void RgpeOptimizer::FitBaseModels() {
+  if (bases_fitted_) return;
+  const auto& tasks = repository_->tasks();
+  base_models_.reserve(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    std::unique_ptr<Regressor> model =
+        CreateBaseSurrogate(base_, space_, options_.seed ^ (0xB0 + t));
+    const Status fit =
+        model->Fit(tasks[t].unit_x, StandardizeScores(tasks[t].scores));
+    if (fit.ok()) {
+      base_models_.push_back(std::move(model));
+    } else {
+      base_models_.push_back(nullptr);
+      DBTUNE_LOG(kWarning) << "RGPE base fit failed for task "
+                           << tasks[t].name << ": " << fit.ToString();
+    }
+  }
+  bases_fitted_ = true;
+}
+
+Configuration RgpeOptimizer::Suggest() {
+  if (InitPending()) return NextInit();
+  DBTUNE_CHECK(!scores_.empty());
+  FitBaseModels();
+
+  const std::vector<double> target_z = StandardizeScores(scores_);
+  std::unique_ptr<Regressor> target_model =
+      CreateBaseSurrogate(base_, space_, options_.seed ^ scores_.size());
+  const bool target_ok = target_model->Fit(unit_history_, target_z).ok();
+
+  // Gather the live models: bases..., target (last).
+  std::vector<Regressor*> models;
+  std::vector<bool> is_target;
+  for (const auto& model : base_models_) {
+    if (model != nullptr) {
+      models.push_back(model.get());
+      is_target.push_back(false);
+    }
+  }
+  if (target_ok) {
+    models.push_back(target_model.get());
+    is_target.push_back(true);
+  }
+  if (models.empty()) return space_.SampleUniform(rng_);
+
+  // --- Ranking-loss weights over the target observations.
+  std::vector<size_t> points;
+  {
+    std::vector<size_t> all(unit_history_.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    if (all.size() > rgpe_options_.max_rank_points) {
+      points = rng_.SampleWithoutReplacement(all.size(),
+                                             rgpe_options_.max_rank_points);
+    } else {
+      points = all;
+    }
+  }
+
+  std::vector<double> weights(models.size(), 0.0);
+  if (points.size() >= 3) {
+    // Cache each model's predictive mean/sd at the ranking points.
+    std::vector<std::vector<double>> means(models.size()),
+        sds(models.size());
+    for (size_t m = 0; m < models.size(); ++m) {
+      means[m].resize(points.size());
+      sds[m].resize(points.size());
+      for (size_t p = 0; p < points.size(); ++p) {
+        double mean = 0.0, var = 0.0;
+        models[m]->PredictMeanVar(unit_history_[points[p]], &mean, &var);
+        means[m][p] = mean;
+        sds[m][p] = std::sqrt(std::max(var, 1e-12));
+      }
+    }
+    for (size_t s = 0; s < rgpe_options_.weight_samples; ++s) {
+      double best_loss = 1e300;
+      std::vector<size_t> winners;
+      for (size_t m = 0; m < models.size(); ++m) {
+        std::vector<double> draw(points.size());
+        for (size_t p = 0; p < points.size(); ++p) {
+          draw[p] = means[m][p] + sds[m][p] * rng_.Gaussian();
+        }
+        size_t loss = 0;
+        for (size_t i = 0; i < points.size(); ++i) {
+          for (size_t j = i + 1; j < points.size(); ++j) {
+            const bool pred = draw[i] < draw[j];
+            const bool truth = target_z[points[i]] < target_z[points[j]];
+            if (pred != truth) ++loss;
+          }
+        }
+        const double loss_value = static_cast<double>(loss);
+        if (loss_value < best_loss - 1e-12) {
+          best_loss = loss_value;
+          winners.assign(1, m);
+        } else if (loss_value < best_loss + 1e-12) {
+          winners.push_back(m);
+        }
+      }
+      for (size_t w : winners) {
+        weights[w] += 1.0 / static_cast<double>(winners.size());
+      }
+    }
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total > 0.0) {
+      for (double& w : weights) w /= total;
+    }
+  }
+  if (std::all_of(weights.begin(), weights.end(),
+                  [](double w) { return w == 0.0; })) {
+    // Too few target points to rank: trust the target model when it
+    // exists, otherwise spread over the bases.
+    if (target_ok) {
+      weights.back() = 1.0;
+    } else {
+      for (double& w : weights) {
+        w = 1.0 / static_cast<double>(weights.size());
+      }
+    }
+  }
+  last_weights_ = weights;
+
+  // --- EI over the weighted ensemble.
+  const double best = *std::max_element(target_z.begin(), target_z.end());
+  const std::vector<std::vector<double>> candidates =
+      BuildAcquisitionCandidates(space_, rng_, unit_history_, target_z,
+                                 options_.acquisition_candidates);
+  double best_ei = -1.0;
+  size_t best_candidate = 0;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const Configuration config = space_.FromUnit(candidates[c]);
+    const std::vector<double> u = space_.ToUnit(config);
+    double mean = 0.0, var = 0.0;
+    for (size_t m = 0; m < models.size(); ++m) {
+      if (weights[m] == 0.0) continue;
+      double mu = 0.0, sigma2 = 0.0;
+      models[m]->PredictMeanVar(u, &mu, &sigma2);
+      mean += weights[m] * mu;
+      var += weights[m] * weights[m] * sigma2;
+    }
+    const double ei = ExpectedImprovement(mean, var, best);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_candidate = c;
+    }
+  }
+  return space_.FromUnit(candidates[best_candidate]);
+}
+
+}  // namespace dbtune

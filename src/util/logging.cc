@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbtune {
+
+namespace {
+LogLevel g_min_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel GetLogLevel() { return g_min_level; }
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_min_level)) return;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
+               msg.c_str());
+}
+
+void CheckFail(const char* file, int line, const char* expr,
+               const std::string& msg) {
+  std::fprintf(stderr, "[CHECK FAILED %s:%d] %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace dbtune

@@ -1,0 +1,134 @@
+#include "util/matrix.h"
+
+#include <cmath>
+
+namespace dbtune {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  DBTUNE_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += v * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+  DBTUNE_CHECK(cols_ == v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+void Matrix::AddDiagonal(double value) {
+  DBTUNE_CHECK(rows_ == cols_);
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, i) += value;
+}
+
+Status CholeskyFactorize(Matrix* a) {
+  DBTUNE_CHECK(a != nullptr);
+  DBTUNE_CHECK(a->rows() == a->cols());
+  const size_t n = a->rows();
+  Matrix& m = *a;
+  for (size_t j = 0; j < n; ++j) {
+    double d = m(j, j);
+    for (size_t k = 0; k < j; ++k) d -= m(j, k) * m(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) {
+      return Status::Internal("matrix is not positive definite");
+    }
+    const double ljj = std::sqrt(d);
+    m(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = m(i, j);
+      for (size_t k = 0; k < j; ++k) s -= m(i, k) * m(j, k);
+      m(i, j) = s / ljj;
+    }
+    for (size_t c = j + 1; c < n; ++c) m(j, c) = 0.0;
+  }
+  return Status::OK();
+}
+
+std::vector<double> SolveLowerTriangular(const Matrix& l,
+                                         const std::vector<double>& b) {
+  DBTUNE_CHECK(l.rows() == l.cols() && l.rows() == b.size());
+  const size_t n = b.size();
+  std::vector<double> x(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l(i, k) * x[k];
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+std::vector<double> SolveUpperTriangularFromLower(
+    const Matrix& l, const std::vector<double>& b) {
+  DBTUNE_CHECK(l.rows() == l.cols() && l.rows() == b.size());
+  const size_t n = b.size();
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double s = b[i];
+    for (size_t k = i + 1; k < n; ++k) s -= l(k, i) * x[k];
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveSpd: shape mismatch");
+  }
+  Matrix l = a;
+  DBTUNE_RETURN_IF_ERROR(CholeskyFactorize(&l));
+  std::vector<double> y = SolveLowerTriangular(l, b);
+  return SolveUpperTriangularFromLower(l, y);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  DBTUNE_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  DBTUNE_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace dbtune

@@ -1,0 +1,44 @@
+#include "util/random.h"
+
+#include <numeric>
+
+namespace dbtune {
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  DBTUNE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DBTUNE_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  if (total <= 0.0) return Index(weights.size());
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  Shuffle(perm);
+  return perm;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  DBTUNE_CHECK(k <= n);
+  // Partial Fisher-Yates: only the first k slots are needed.
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace dbtune

@@ -1,0 +1,109 @@
+#ifndef DBTUNE_UTIL_STATUS_H_
+#define DBTUNE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dbtune {
+
+/// Error categories used across the library. The library does not use C++
+/// exceptions; fallible operations return `Status` or `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Modeled after absl::Status: cheap to copy in
+/// the OK case, carries a code plus message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers for the common error categories.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union: holds a `T` on success, a non-OK `Status`
+/// otherwise. Accessing `value()` on an error aborts the process.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value marks success.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status marks failure.
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The contained status; OK when holding a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// The contained value. Requires `ok()`.
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::move(std::get<T>(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define DBTUNE_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::dbtune::Status _dbtune_status = (expr);         \
+    if (!_dbtune_status.ok()) return _dbtune_status;  \
+  } while (false)
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_UTIL_STATUS_H_

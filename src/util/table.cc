@@ -1,0 +1,51 @@
+#include "util/table.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  DBTUNE_CHECK(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    out += "\n";
+    return out;
+  };
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace dbtune

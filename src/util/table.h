@@ -1,0 +1,35 @@
+#ifndef DBTUNE_UTIL_TABLE_H_
+#define DBTUNE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dbtune {
+
+/// Aligned plain-text table used by the bench harnesses to print the
+/// paper's tables/figure series to stdout.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimal digits.
+  static std::string Num(double value, int precision = 2);
+
+  /// Renders the table with a header separator.
+  std::string ToString() const;
+
+  /// Prints `ToString()` to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_UTIL_TABLE_H_

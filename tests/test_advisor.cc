@@ -1,0 +1,64 @@
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace dbtune {
+namespace {
+
+TEST(AdvisorTest, EndToEndTuningImproves) {
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 1);
+  AdvisorOptions options;
+  options.importance_samples = 150;
+  options.tuning_knobs = 10;
+  options.tuning_iterations = 40;
+  options.seed = 2;
+  Result<AdvisorReport> report = TuneDbms(&sim, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->selected_knobs.size(), 10u);
+  EXPECT_EQ(report->selected_knob_names.size(), 10u);
+  EXPECT_GT(report->improvement_percent, 0.0);
+  EXPECT_EQ(report->best_config.size(), sim.space().dimension());
+  EXPECT_TRUE(sim.space().Validate(report->best_config).ok());
+}
+
+TEST(AdvisorTest, SelectedKnobsBeatRandomSelection) {
+  // The selected knob set must enable better tuning than a same-size
+  // random knob set with the same budget (the point of knob selection).
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 3);
+  AdvisorOptions options;
+  options.importance_samples = 800;  // SHAP needs real coverage on 197 dims
+  options.tuning_knobs = 20;
+  options.tuning_iterations = 5;
+  options.seed = 4;
+  Result<AdvisorReport> report = TuneDbms(&sim, options);
+  ASSERT_TRUE(report.ok());
+
+  auto tune_with = [](const std::vector<size_t>& knobs, uint64_t seed) {
+    DbmsSimulator fresh(WorkloadId::kSysbench, HardwareInstance::kB, seed);
+    return RunTuningSession(&fresh, knobs, OptimizerType::kSmac, 60, seed)
+        .final_improvement;
+  };
+  double selected_total = 0.0, random_total = 0.0;
+  Rng rng(9);
+  for (uint64_t seed = 11; seed <= 13; ++seed) {
+    selected_total += tune_with(report->selected_knobs, seed);
+    const std::vector<size_t> random_knobs =
+        rng.SampleWithoutReplacement(sim.space().dimension(), 20);
+    random_total += tune_with(random_knobs, seed);
+  }
+  EXPECT_GT(selected_total, random_total);
+}
+
+TEST(AdvisorTest, RejectsBadKnobCount) {
+  DbmsSimulator sim(WorkloadId::kVoter, HardwareInstance::kB, 5);
+  AdvisorOptions options;
+  options.tuning_knobs = 0;
+  EXPECT_FALSE(TuneDbms(&sim, options).ok());
+  options.tuning_knobs = 9999;
+  EXPECT_FALSE(TuneDbms(&sim, options).ok());
+}
+
+}  // namespace
+}  // namespace dbtune

@@ -1,0 +1,120 @@
+#include "knobs/configuration_space.h"
+
+#include <gtest/gtest.h>
+
+#include "knobs/catalog.h"
+
+namespace dbtune {
+namespace {
+
+ConfigurationSpace MakeSpace() {
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::Continuous("c", 0.0, 10.0, 2.0));
+  knobs.push_back(Knob::Integer("i", 1, 100, 10));
+  knobs.push_back(Knob::Categorical("k", {"x", "y", "z"}, 0));
+  return ConfigurationSpace(std::move(knobs));
+}
+
+TEST(ConfigurationSpaceTest, DimensionAndLookup) {
+  const ConfigurationSpace space = MakeSpace();
+  EXPECT_EQ(space.dimension(), 3u);
+  Result<size_t> idx = space.KnobIndex("i");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(space.KnobIndex("nope").ok());
+}
+
+TEST(ConfigurationSpaceTest, DefaultConfiguration) {
+  const ConfigurationSpace space = MakeSpace();
+  const Configuration def = space.Default();
+  EXPECT_DOUBLE_EQ(def[0], 2.0);
+  EXPECT_DOUBLE_EQ(def[1], 10.0);
+  EXPECT_DOUBLE_EQ(def[2], 0.0);
+  EXPECT_TRUE(space.Validate(def).ok());
+}
+
+TEST(ConfigurationSpaceTest, SampleUniformIsValid) {
+  const ConfigurationSpace space = MakeSpace();
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Configuration c = space.SampleUniform(rng);
+    EXPECT_TRUE(space.Validate(c).ok());
+  }
+}
+
+TEST(ConfigurationSpaceTest, UnitRoundTrip) {
+  const ConfigurationSpace space = MakeSpace();
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Configuration c = space.SampleUniform(rng);
+    const Configuration back = space.FromUnit(space.ToUnit(c));
+    for (size_t j = 0; j < c.size(); ++j) {
+      EXPECT_NEAR(back[j], c[j], 1e-9);
+    }
+  }
+}
+
+TEST(ConfigurationSpaceTest, ValidateRejectsBadArity) {
+  const ConfigurationSpace space = MakeSpace();
+  EXPECT_EQ(space.Validate(Configuration({1.0})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigurationSpaceTest, ValidateRejectsOutOfDomain) {
+  const ConfigurationSpace space = MakeSpace();
+  Configuration c = space.Default();
+  c[0] = 11.0;
+  EXPECT_EQ(space.Validate(c).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ConfigurationSpaceTest, ClipBringsIntoDomain) {
+  const ConfigurationSpace space = MakeSpace();
+  Configuration c({-5.0, 1000.0, 9.0});
+  const Configuration clipped = space.Clip(c);
+  EXPECT_TRUE(space.Validate(clipped).ok());
+  EXPECT_DOUBLE_EQ(clipped[0], 0.0);
+  EXPECT_DOUBLE_EQ(clipped[1], 100.0);
+  EXPECT_DOUBLE_EQ(clipped[2], 2.0);
+}
+
+TEST(ConfigurationSpaceTest, CategoricalAndNumericIndices) {
+  const ConfigurationSpace space = MakeSpace();
+  EXPECT_EQ(space.CategoricalIndices(), (std::vector<size_t>{2}));
+  EXPECT_EQ(space.NumericIndices(), (std::vector<size_t>{0, 1}));
+}
+
+TEST(ConfigurationSpaceTest, ProjectPreservesKnobs) {
+  const ConfigurationSpace space = MakeSpace();
+  const ConfigurationSpace sub = space.Project({2, 0});
+  EXPECT_EQ(sub.dimension(), 2u);
+  EXPECT_EQ(sub.knob(0).name(), "k");
+  EXPECT_EQ(sub.knob(1).name(), "c");
+}
+
+TEST(KnobSubsetTest, ToFullAndFromFull) {
+  const ConfigurationSpace space = MakeSpace();
+  KnobSubset subset(&space, {1, 2});
+  EXPECT_EQ(subset.subspace().dimension(), 2u);
+
+  Configuration sub({50.0, 2.0});
+  const Configuration full = subset.ToFull(sub);
+  EXPECT_DOUBLE_EQ(full[0], 2.0);  // default for unselected knob
+  EXPECT_DOUBLE_EQ(full[1], 50.0);
+  EXPECT_DOUBLE_EQ(full[2], 2.0);
+
+  const Configuration round = subset.FromFull(full);
+  EXPECT_DOUBLE_EQ(round[0], 50.0);
+  EXPECT_DOUBLE_EQ(round[1], 2.0);
+}
+
+TEST(ConfigurationTest, EqualityAndDebugString) {
+  Configuration a({1.0, 2.0});
+  Configuration b({1.0, 2.0});
+  Configuration c({1.0, 3.0});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.DebugString(), "[1, 2]");
+}
+
+}  // namespace
+}  // namespace dbtune

@@ -1,0 +1,117 @@
+#include "surrogate/cross_validation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "surrogate/random_forest.h"
+#include "surrogate/ridge.h"
+
+namespace dbtune {
+namespace {
+
+TEST(KFoldTest, BalancedAssignment) {
+  Rng rng(1);
+  const std::vector<size_t> fold = KFoldAssignment(100, 10, rng);
+  ASSERT_EQ(fold.size(), 100u);
+  std::vector<int> counts(10, 0);
+  for (size_t f : fold) {
+    ASSERT_LT(f, 10u);
+    ++counts[f];
+  }
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(KFoldTest, UnevenSizesDifferByAtMostOne) {
+  Rng rng(2);
+  const std::vector<size_t> fold = KFoldAssignment(103, 10, rng);
+  std::vector<int> counts(10, 0);
+  for (size_t f : fold) ++counts[f];
+  int min = 1000, max = 0;
+  for (int c : counts) {
+    min = std::min(min, c);
+    max = std::max(max, c);
+  }
+  EXPECT_LE(max - min, 1);
+}
+
+TEST(CrossValidateTest, LinearModelOnLinearData) {
+  Rng rng(3);
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Uniform(), b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(3.0 * a - b + rng.Gaussian(0.0, 0.01));
+  }
+  Rng cv_rng(4);
+  Result<RegressionQuality> quality = CrossValidate(
+      [] {
+        RidgeOptions options;
+        options.alpha = 1e-6;
+        return std::unique_ptr<Regressor>(
+            std::make_unique<RidgeRegression>(options));
+      },
+      x, y, 10, cv_rng);
+  ASSERT_TRUE(quality.ok());
+  EXPECT_GT(quality->r_squared, 0.97);
+  EXPECT_LT(quality->rmse, 0.1);
+}
+
+TEST(CrossValidateTest, RejectsBadArguments) {
+  Rng rng(5);
+  FeatureMatrix x = {{1.0}, {2.0}};
+  std::vector<double> y = {1.0, 2.0};
+  EXPECT_FALSE(CrossValidate([] {
+                 return std::unique_ptr<Regressor>(
+                     std::make_unique<RidgeRegression>());
+               },
+                             x, y, 5, rng)
+                   .ok());  // k > n
+  EXPECT_FALSE(CrossValidate([] {
+                 return std::unique_ptr<Regressor>(
+                     std::make_unique<RidgeRegression>());
+               },
+                             {}, {}, 2, rng)
+                   .ok());
+}
+
+TEST(CrossValidateTest, ForestBeatsRidgeOnNonlinearData) {
+  Rng rng(6);
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform(), b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(std::sin(7.0 * a) * (b < 0.5 ? 1.0 : -1.0));
+  }
+  Rng rng_a(7), rng_b(7);
+  Result<RegressionQuality> forest_quality = CrossValidate(
+      [] {
+        return std::unique_ptr<Regressor>(std::make_unique<RandomForest>());
+      },
+      x, y, 5, rng_a);
+  Result<RegressionQuality> ridge_quality = CrossValidate(
+      [] {
+        return std::unique_ptr<Regressor>(std::make_unique<RidgeRegression>());
+      },
+      x, y, 5, rng_b);
+  ASSERT_TRUE(forest_quality.ok());
+  ASSERT_TRUE(ridge_quality.ok());
+  EXPECT_GT(forest_quality->r_squared, ridge_quality->r_squared);
+}
+
+TEST(TrainTestEvaluateTest, ComputesHeldOutMetrics) {
+  RidgeRegression ridge;
+  FeatureMatrix train_x = {{0.0}, {0.5}, {1.0}};
+  std::vector<double> train_y = {0.0, 1.0, 2.0};
+  FeatureMatrix test_x = {{0.25}, {0.75}};
+  std::vector<double> test_y = {0.5, 1.5};
+  Result<RegressionQuality> quality =
+      TrainTestEvaluate(&ridge, train_x, train_y, test_x, test_y);
+  ASSERT_TRUE(quality.ok());
+  EXPECT_GT(quality->r_squared, 0.9);
+}
+
+}  // namespace
+}  // namespace dbtune

@@ -1,0 +1,85 @@
+#include "importance/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "knobs/catalog.h"
+
+namespace dbtune {
+namespace {
+
+std::vector<size_t> GroundTruthRanking(const DbmsSimulator& sim) {
+  return sim.surface().importance_ranking();
+}
+
+TEST(IncrementalTest, SchedulesMatchPaperHeuristics) {
+  const IncrementalOptions inc = IncreasingSchedule(25);
+  ASSERT_GE(inc.phase_sizes.size(), 2u);
+  for (size_t i = 1; i < inc.phase_sizes.size(); ++i) {
+    EXPECT_GT(inc.phase_sizes[i], inc.phase_sizes[i - 1]);
+  }
+  const IncrementalOptions dec = DecreasingSchedule(25);
+  for (size_t i = 1; i < dec.phase_sizes.size(); ++i) {
+    EXPECT_LT(dec.phase_sizes[i], dec.phase_sizes[i - 1]);
+  }
+  EXPECT_EQ(inc.iterations_per_phase, 25u);
+}
+
+TEST(IncrementalTest, RejectsInvalidOptions) {
+  DbmsSimulator sim(WorkloadId::kVoter, HardwareInstance::kB, 1);
+  IncrementalOptions options;
+  options.phase_sizes = {};
+  EXPECT_FALSE(
+      RunIncrementalSession(&sim, GroundTruthRanking(sim), options).ok());
+  options.phase_sizes = {5, 0};
+  EXPECT_FALSE(
+      RunIncrementalSession(&sim, GroundTruthRanking(sim), options).ok());
+  options.phase_sizes = {99999};
+  EXPECT_FALSE(
+      RunIncrementalSession(&sim, GroundTruthRanking(sim), options).ok());
+}
+
+TEST(IncrementalTest, IncreasingSessionRunsAndIsMonotone) {
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 2);
+  IncrementalOptions options;
+  options.phase_sizes = {5, 10};
+  options.iterations_per_phase = 15;
+  options.seed = 3;
+  Result<IncrementalResult> result =
+      RunIncrementalSession(&sim, GroundTruthRanking(sim), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->improvement_trace.size(), 30u);
+  for (size_t i = 1; i < result->improvement_trace.size(); ++i) {
+    EXPECT_GE(result->improvement_trace[i], result->improvement_trace[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(result->final_improvement,
+                   result->improvement_trace.back());
+}
+
+TEST(IncrementalTest, DecreasingSessionRuns) {
+  DbmsSimulator sim(WorkloadId::kTpcc, HardwareInstance::kB, 4);
+  IncrementalOptions options;
+  options.phase_sizes = {20, 10, 5};
+  options.iterations_per_phase = 10;
+  options.seed = 5;
+  Result<IncrementalResult> result =
+      RunIncrementalSession(&sim, GroundTruthRanking(sim), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_objective_trace.size(), 30u);
+  EXPECT_GE(result->final_improvement, 0.0);
+}
+
+TEST(IncrementalTest, FindsImprovementOnImportantKnobs) {
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 6);
+  IncrementalOptions options;
+  options.phase_sizes = {5, 10, 15};
+  options.iterations_per_phase = 20;
+  options.optimizer = OptimizerType::kSmac;
+  options.seed = 7;
+  Result<IncrementalResult> result =
+      RunIncrementalSession(&sim, GroundTruthRanking(sim), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->final_improvement, 10.0);
+}
+
+}  // namespace
+}  // namespace dbtune

@@ -1,0 +1,136 @@
+// End-to-end integration tests exercising the full pipeline the way the
+// paper's experiments do, at a reduced scale.
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/metrics.h"
+#include "core/tuning_session.h"
+#include "dbms/environment.h"
+#include "importance/importance.h"
+#include "knobs/catalog.h"
+#include "sampling/latin_hypercube.h"
+#include "transfer/rgpe.h"
+#include "util/stats.h"
+
+namespace dbtune {
+namespace {
+
+// Knob selection -> optimization, on the full 197-knob catalog.
+TEST(IntegrationTest, KnobSelectionThenOptimization) {
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 1);
+
+  // Collect samples and rank knobs with SHAP.
+  TuningEnvironment sampling_env(&sim);
+  Rng rng(2);
+  std::vector<Configuration> configs;
+  std::vector<double> scores;
+  for (const Configuration& c :
+       LatinHypercubeSample(sim.space(), 200, rng)) {
+    const Observation obs = sampling_env.Evaluate(c);
+    configs.push_back(obs.config);
+    scores.push_back(obs.score);
+  }
+  Result<ImportanceInput> input = MakeImportanceInput(
+      sim.space(), configs, scores, sim.EffectiveDefault(),
+      sampling_env.default_score());
+  ASSERT_TRUE(input.ok());
+  std::unique_ptr<ImportanceMeasure> shap =
+      CreateImportanceMeasure(MeasurementType::kShap, 3);
+  Result<std::vector<double>> importance = shap->Rank(*input);
+  ASSERT_TRUE(importance.ok());
+  const std::vector<size_t> top20 = TopKnobs(*importance, 20);
+
+  // Tuning over the pruned space beats tuning nothing.
+  const SessionResult result =
+      RunTuningSession(&sim, top20, OptimizerType::kSmac, 50, 4);
+  EXPECT_GT(result.final_improvement, 20.0);
+}
+
+// Pruned-space tuning beats same-budget full-space tuning (the paper's
+// first main finding).
+TEST(IntegrationTest, PrunedSpaceBeatsFullSpaceOnBudget) {
+  double pruned_total = 0.0, full_total = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    DbmsSimulator sim_a(WorkloadId::kSysbench, HardwareInstance::kB, seed);
+    const std::vector<size_t> truth = sim_a.surface().TunabilityRanking();
+    const std::vector<size_t> top20(truth.begin(), truth.begin() + 20);
+    pruned_total +=
+        RunTuningSession(&sim_a, top20, OptimizerType::kSmac, 60, seed)
+            .final_improvement;
+
+    DbmsSimulator sim_b(WorkloadId::kSysbench, HardwareInstance::kB, seed);
+    std::vector<size_t> all(sim_b.space().dimension());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    full_total +=
+        RunTuningSession(&sim_b, all, OptimizerType::kSmac, 60, seed)
+            .final_improvement;
+  }
+  EXPECT_GT(pruned_total, full_total);
+}
+
+// RGPE transfer against real simulator workloads.
+TEST(IntegrationTest, RgpeTransferAcrossWorkloads) {
+  const std::vector<size_t> knobs = [] {
+    DbmsSimulator probe(WorkloadId::kTpcc, HardwareInstance::kB, 1);
+    const std::vector<size_t>& truth = probe.surface().importance_ranking();
+    return std::vector<size_t>(truth.begin(), truth.begin() + 10);
+  }();
+
+  // Source history: two OLTP workloads.
+  ObservationRepository repo;
+  for (WorkloadId source : {WorkloadId::kSeats, WorkloadId::kSmallbank}) {
+    DbmsSimulator sim(source, HardwareInstance::kB, 5);
+    TuningEnvironment env(&sim, knobs);
+    Rng rng(6);
+    for (int i = 0; i < 30; ++i) env.Evaluate(env.space().SampleUniform(rng));
+    repo.AddTask(ObservationRepository::FromHistory(WorkloadName(source),
+                                                    env.space(),
+                                                    env.history()));
+  }
+
+  // Target: TPC-C with RGPE(SMAC).
+  DbmsSimulator target(WorkloadId::kTpcc, HardwareInstance::kB, 7);
+  TuningEnvironment env(&target, knobs);
+  OptimizerOptions options;
+  options.seed = 8;
+  RgpeOptimizer rgpe(env.space(), options, &repo, TransferBase::kSmac);
+  const SessionResult result = RunTuningSession(&env, &rgpe, 40);
+  EXPECT_GT(result.final_improvement, 0.0);
+}
+
+// The advisor's recommended path works across workload types.
+TEST(IntegrationTest, AdvisorOnLatencyWorkload) {
+  DbmsSimulator sim(WorkloadId::kJob, HardwareInstance::kB, 9);
+  AdvisorOptions options;
+  options.importance_samples = 120;
+  options.tuning_knobs = 5;
+  options.tuning_iterations = 30;
+  options.seed = 10;
+  Result<AdvisorReport> report = TuneDbms(&sim, options);
+  ASSERT_TRUE(report.ok());
+  // Latency workload: best latency at most the default.
+  EXPECT_LE(report->best_objective, report->default_objective);
+  EXPECT_GE(report->improvement_percent, 0.0);
+}
+
+// Different hardware instances yield different tuned throughput.
+TEST(IntegrationTest, HardwareMattersEndToEnd) {
+  auto tune = [](HardwareInstance hw) {
+    DbmsSimulator sim(WorkloadId::kTatp, hw, 11);
+    const std::vector<size_t>& truth = sim.surface().importance_ranking();
+    const std::vector<size_t> top(truth.begin(), truth.begin() + 10);
+    DbmsSimulator fresh(WorkloadId::kTatp, hw, 11);
+    TuningEnvironment env(&fresh, top);
+    OptimizerOptions options;
+    options.seed = 12;
+    std::unique_ptr<Optimizer> smac =
+        CreateOptimizer(OptimizerType::kSmac, env.space(), options);
+    RunTuningSession(&env, smac.get(), 30);
+    return env.best_objective();
+  };
+  EXPECT_GT(tune(HardwareInstance::kD), tune(HardwareInstance::kA));
+}
+
+}  // namespace
+}  // namespace dbtune

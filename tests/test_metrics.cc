@@ -1,0 +1,94 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dbtune {
+namespace {
+
+TEST(PerformanceEnhancementTest, ThroughputDirection) {
+  EXPECT_NEAR(PerformanceEnhancement(100.0, 110.0, ObjectiveKind::kThroughput),
+              0.10, 1e-12);
+  EXPECT_NEAR(PerformanceEnhancement(100.0, 90.0, ObjectiveKind::kThroughput),
+              -0.10, 1e-12);
+}
+
+TEST(PerformanceEnhancementTest, LatencyDirection) {
+  // Lower latency is an enhancement.
+  EXPECT_NEAR(PerformanceEnhancement(200.0, 150.0, ObjectiveKind::kLatencyP95),
+              0.25, 1e-12);
+  EXPECT_LT(PerformanceEnhancement(200.0, 220.0, ObjectiveKind::kLatencyP95),
+            0.0);
+}
+
+TEST(TransferSpeedupTest, FasterTransferGivesSpeedupAboveOne) {
+  // Base finds 100 at step 4 (of 4). Transfer beats 100 at step 2.
+  const std::vector<double> base = {50, 80, 90, 100};
+  const std::vector<double> transfer = {60, 101, 101, 101};
+  const auto speedup =
+      TransferSpeedup(base, transfer, ObjectiveKind::kThroughput);
+  ASSERT_TRUE(speedup.has_value());
+  EXPECT_DOUBLE_EQ(*speedup, 2.0);
+}
+
+TEST(TransferSpeedupTest, NeverBeatingBaseIsNullopt) {
+  const std::vector<double> base = {50, 100};
+  const std::vector<double> transfer = {60, 99};
+  EXPECT_FALSE(
+      TransferSpeedup(base, transfer, ObjectiveKind::kThroughput).has_value());
+}
+
+TEST(TransferSpeedupTest, LatencyDirectionHandled) {
+  // Base reaches latency 100 at step 3; transfer beats it at step 1.
+  const std::vector<double> base = {200, 150, 100};
+  const std::vector<double> transfer = {90, 90, 90};
+  const auto speedup =
+      TransferSpeedup(base, transfer, ObjectiveKind::kLatencyP95);
+  ASSERT_TRUE(speedup.has_value());
+  EXPECT_DOUBLE_EQ(*speedup, 3.0);
+}
+
+TEST(TransferSpeedupTest, SlowerTransferBelowOne) {
+  const std::vector<double> base = {100, 100, 100};  // best found at step 1
+  const std::vector<double> transfer = {50, 60, 101};
+  const auto speedup =
+      TransferSpeedup(base, transfer, ObjectiveKind::kThroughput);
+  ASSERT_TRUE(speedup.has_value());
+  EXPECT_NEAR(*speedup, 1.0 / 3.0, 1e-12);
+}
+
+TEST(AverageRanksTest, HigherIsBetter) {
+  // Two scenarios, three methods.
+  const std::vector<std::vector<double>> values = {
+      {10.0, 30.0, 20.0},  // ranks: 3, 1, 2
+      {5.0, 15.0, 10.0},   // ranks: 3, 1, 2
+  };
+  const std::vector<double> ranks = AverageRanks(values, true);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(AverageRanksTest, LowerIsBetterAndTies) {
+  const std::vector<std::vector<double>> values = {
+      {1.0, 1.0, 5.0},  // ranks: 1.5, 1.5, 3
+  };
+  const std::vector<double> ranks = AverageRanks(values, false);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(AverageRanksTest, MixedScenarios) {
+  const std::vector<std::vector<double>> values = {
+      {3.0, 2.0, 1.0},
+      {1.0, 2.0, 3.0},
+  };
+  const std::vector<double> ranks = AverageRanks(values, true);
+  // Each method wins one scenario and loses one.
+  EXPECT_DOUBLE_EQ(ranks[0], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+}  // namespace
+}  // namespace dbtune

@@ -1,0 +1,136 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/adam.h"
+#include "nn/mlp.h"
+#include "util/random.h"
+
+namespace dbtune {
+namespace {
+
+TEST(MlpTest, ForwardShapes) {
+  Mlp net({3, 8, 2}, {Activation::kRelu, Activation::kNone}, 1);
+  const std::vector<double> out = net.Forward({0.1, 0.2, 0.3});
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(net.input_size(), 3u);
+  EXPECT_EQ(net.output_size(), 2u);
+  EXPECT_EQ(net.num_params(), 3u * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(MlpTest, SigmoidOutputInUnitRange) {
+  Mlp net({2, 4, 3}, {Activation::kRelu, Activation::kSigmoid}, 2);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> out =
+        net.Forward({rng.Gaussian(0, 3), rng.Gaussian(0, 3)});
+    for (double v : out) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(MlpTest, DeterministicForSeed) {
+  Mlp a({2, 4, 1}, {Activation::kTanh, Activation::kNone}, 7);
+  Mlp b({2, 4, 1}, {Activation::kTanh, Activation::kNone}, 7);
+  EXPECT_EQ(a.params(), b.params());
+}
+
+// Numerically checks Backward against finite differences.
+TEST(MlpTest, GradientsMatchFiniteDifferences) {
+  Mlp net({2, 5, 1}, {Activation::kTanh, Activation::kNone}, 3);
+  const std::vector<double> input = {0.4, -0.7};
+
+  Mlp::Tape tape;
+  const double out = net.Forward(input, &tape)[0];
+  (void)out;
+  std::vector<double> grad(net.num_params(), 0.0);
+  net.Backward(tape, {1.0}, &grad);
+
+  const double eps = 1e-6;
+  for (size_t p = 0; p < net.num_params(); p += 7) {  // spot-check
+    const double saved = net.params()[p];
+    net.mutable_params()[p] = saved + eps;
+    const double up = net.Forward(input)[0];
+    net.mutable_params()[p] = saved - eps;
+    const double down = net.Forward(input)[0];
+    net.mutable_params()[p] = saved;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(grad[p], numeric, 1e-5) << "param " << p;
+  }
+}
+
+TEST(MlpTest, InputGradientMatchesFiniteDifferences) {
+  Mlp net({3, 4, 1}, {Activation::kRelu, Activation::kNone}, 5);
+  const std::vector<double> input = {0.3, 0.9, -0.2};
+  Mlp::Tape tape;
+  net.Forward(input, &tape);
+  std::vector<double> grad(net.num_params(), 0.0);
+  const std::vector<double> dinput = net.Backward(tape, {1.0}, &grad);
+  ASSERT_EQ(dinput.size(), 3u);
+
+  const double eps = 1e-6;
+  for (size_t j = 0; j < 3; ++j) {
+    std::vector<double> up = input, down = input;
+    up[j] += eps;
+    down[j] -= eps;
+    const double numeric =
+        (net.Forward(up)[0] - net.Forward(down)[0]) / (2 * eps);
+    EXPECT_NEAR(dinput[j], numeric, 1e-5);
+  }
+}
+
+TEST(MlpTest, SoftUpdateBlendsParameters) {
+  Mlp a({1, 2, 1}, {Activation::kNone, Activation::kNone}, 1);
+  Mlp b({1, 2, 1}, {Activation::kNone, Activation::kNone}, 2);
+  const std::vector<double> before = b.params();
+  b.SoftUpdateFrom(a, 0.5);
+  for (size_t i = 0; i < b.num_params(); ++i) {
+    EXPECT_NEAR(b.params()[i], 0.5 * a.params()[i] + 0.5 * before[i], 1e-12);
+  }
+  b.SoftUpdateFrom(a, 1.0);
+  EXPECT_EQ(b.params(), a.params());
+}
+
+TEST(MlpTest, LearnsXorWithAdam) {
+  Mlp net({2, 8, 1}, {Activation::kTanh, Activation::kNone}, 9);
+  AdamOptimizer adam(net.num_params(), 5e-3);
+  const std::vector<std::vector<double>> inputs = {
+      {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<double> targets = {0, 1, 1, 0};
+
+  for (int epoch = 0; epoch < 2000; ++epoch) {
+    std::vector<double> grad(net.num_params(), 0.0);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      Mlp::Tape tape;
+      const double out = net.Forward(inputs[i], &tape)[0];
+      net.Backward(tape, {2.0 * (out - targets[i]) / 4.0}, &grad);
+    }
+    adam.Step(&net.mutable_params(), grad);
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_NEAR(net.Forward(inputs[i])[0], targets[i], 0.2);
+  }
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (x - 3)^2.
+  std::vector<double> params = {0.0};
+  AdamOptimizer adam(1, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> grad = {2.0 * (params[0] - 3.0)};
+    adam.Step(&params, grad);
+  }
+  EXPECT_NEAR(params[0], 3.0, 1e-3);
+}
+
+TEST(AdamTest, LearningRateAdjustable) {
+  AdamOptimizer adam(1, 0.1);
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.1);
+  adam.set_learning_rate(0.01);
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.01);
+}
+
+}  // namespace
+}  // namespace dbtune

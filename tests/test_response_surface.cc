@@ -1,0 +1,232 @@
+#include "dbms/response_surface.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "knobs/catalog.h"
+#include "util/random.h"
+
+namespace dbtune {
+namespace {
+
+class ResponseSurfaceTest : public ::testing::Test {
+ protected:
+  ResponseSurfaceTest()
+      : space_(MySqlKnobCatalog()),
+        job_(&space_, GetWorkloadProfile(WorkloadId::kJob)),
+        sysbench_(&space_, GetWorkloadProfile(WorkloadId::kSysbench)) {}
+
+  ConfigurationSpace space_;
+  ResponseSurface job_;
+  ResponseSurface sysbench_;
+};
+
+TEST_F(ResponseSurfaceTest, DefaultScoresZero) {
+  EXPECT_NEAR(job_.Score(space_.Default()), 0.0, 1e-9);
+  EXPECT_NEAR(sysbench_.Score(space_.Default()), 0.0, 1e-9);
+}
+
+TEST_F(ResponseSurfaceTest, Deterministic) {
+  Rng rng(1);
+  const Configuration c = space_.SampleUniform(rng);
+  EXPECT_DOUBLE_EQ(job_.Score(c), job_.Score(c));
+  ResponseSurface job2(&space_, GetWorkloadProfile(WorkloadId::kJob));
+  EXPECT_DOUBLE_EQ(job_.Score(c), job2.Score(c));
+}
+
+TEST_F(ResponseSurfaceTest, WorkloadsDiffer) {
+  Rng rng(2);
+  bool differed = false;
+  for (int i = 0; i < 5; ++i) {
+    const Configuration c = space_.SampleUniform(rng);
+    if (std::abs(job_.Score(c) - sysbench_.Score(c)) > 1e-6) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST_F(ResponseSurfaceTest, ScoreBoundedByMaxGain) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Configuration c = space_.SampleUniform(rng);
+    EXPECT_LE(sysbench_.Score(c), sysbench_.max_gain() + 1e-9);
+  }
+}
+
+TEST_F(ResponseSurfaceTest, PositiveScoresAreReachable) {
+  // Coordinate ascent from the default must find a configuration with a
+  // solidly positive score (tuning headroom exists).
+  std::vector<double> unit = space_.ToUnit(space_.Default());
+  double best = sysbench_.ScoreFromUnit(unit);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t rank = 0; rank < 30; ++rank) {
+      const size_t j = sysbench_.importance_ranking()[rank];
+      double best_v = unit[j];
+      for (int step = 0; step <= 10; ++step) {
+        std::vector<double> probe = unit;
+        probe[j] = static_cast<double>(step) / 10.0;
+        const double s = sysbench_.ScoreFromUnit(probe);
+        if (s > best) {
+          best = s;
+          best_v = probe[j];
+        }
+      }
+      unit[j] = best_v;
+    }
+  }
+  EXPECT_GT(best, 0.4 * sysbench_.max_gain());
+}
+
+TEST_F(ResponseSurfaceTest, RankingCoversAllKnobs) {
+  const std::vector<size_t>& ranking = sysbench_.importance_ranking();
+  EXPECT_EQ(ranking.size(), space_.dimension());
+  std::vector<bool> seen(space_.dimension(), false);
+  for (size_t k : ranking) {
+    ASSERT_LT(k, space_.dimension());
+    EXPECT_FALSE(seen[k]);
+    seen[k] = true;
+  }
+}
+
+TEST_F(ResponseSurfaceTest, ImportanceDecays) {
+  // Average |contribution| of top-ranked knobs dwarfs the tail's.
+  Rng rng(4);
+  double top_effect = 0.0, tail_effect = 0.0;
+  const int samples = 50;
+  for (int i = 0; i < samples; ++i) {
+    const std::vector<double> unit =
+        space_.ToUnit(space_.SampleUniform(rng));
+    for (size_t r = 0; r < 5; ++r) {
+      top_effect += std::abs(sysbench_.KnobContribution(r, unit));
+    }
+    for (size_t r = 150; r < 155; ++r) {
+      tail_effect += std::abs(sysbench_.KnobContribution(r, unit));
+    }
+  }
+  EXPECT_GT(top_effect, 20.0 * tail_effect);
+}
+
+TEST_F(ResponseSurfaceTest, CategoricalKnobsRankHigh) {
+  // The heterogeneity experiment needs impactful categorical knobs.
+  size_t categorical_in_top30 = 0;
+  for (size_t r = 0; r < 30; ++r) {
+    if (space_.knob(job_.importance_ranking()[r]).is_categorical()) {
+      ++categorical_in_top30;
+    }
+  }
+  EXPECT_GE(categorical_in_top30, 5u);
+}
+
+TEST_F(ResponseSurfaceTest, RiskyKnobsExist) {
+  // Some impactful knobs must be default-optimal (changing them only
+  // hurts) — the separation between SHAP and variance-based measures.
+  size_t risky_in_top20 = 0;
+  for (size_t r = 0; r < 20; ++r) {
+    const auto& effect = sysbench_.effects()[r];
+    if (effect.shape == ResponseSurface::EffectShape::kRiskyQuadratic) {
+      ++risky_in_top20;
+    }
+    if (effect.shape == ResponseSurface::EffectShape::kCategorical) {
+      bool improvable = false;
+      for (double c : effect.category_effects) {
+        if (c > 0.0) improvable = true;
+      }
+      if (!improvable) ++risky_in_top20;
+    }
+  }
+  EXPECT_GE(risky_in_top20, 3u);
+}
+
+TEST_F(ResponseSurfaceTest, RiskyKnobContributionNeverPositive) {
+  Rng rng(5);
+  for (size_t r = 0; r < 40; ++r) {
+    const auto& effect = sysbench_.effects()[r];
+    if (effect.shape != ResponseSurface::EffectShape::kRiskyQuadratic) {
+      continue;
+    }
+    for (int i = 0; i < 20; ++i) {
+      std::vector<double> unit = space_.ToUnit(space_.Default());
+      unit[effect.knob_index] = rng.Uniform();
+      EXPECT_LE(sysbench_.KnobContribution(r, unit), 1e-12);
+    }
+  }
+}
+
+TEST_F(ResponseSurfaceTest, InteractionsArePresent) {
+  EXPECT_GE(sysbench_.interactions().size(), 2u);
+  // Interactions vanish at the default.
+  const std::vector<double> def = space_.ToUnit(space_.Default());
+  for (size_t i = 0; i < sysbench_.interactions().size(); ++i) {
+    EXPECT_NEAR(sysbench_.InteractionContribution(i, def), 0.0, 1e-12);
+  }
+}
+
+TEST_F(ResponseSurfaceTest, JointBumpInteractionNeedsBothKnobs) {
+  // Moving only one partner of a joint-bump interaction off the default
+  // yields (almost) none of the pair's gain.
+  const std::vector<double> def = space_.ToUnit(space_.Default());
+  bool checked = false;
+  for (size_t i = 0; i < sysbench_.interactions().size(); ++i) {
+    const auto& inter = sysbench_.interactions()[i];
+    if (inter.kind != ResponseSurface::Interaction::Kind::kJointBump) {
+      continue;
+    }
+    // Skip pairs where either partner's default already sits near its
+    // sweet-spot coordinate (the partial move would then capture most of
+    // the gain through the other knob's default).
+    const double da = def[inter.knob_a] - inter.center_a;
+    const double db = def[inter.knob_b] - inter.center_b;
+    if (std::abs(da) < 1.5 * inter.width ||
+        std::abs(db) < 1.5 * inter.width) {
+      continue;
+    }
+    std::vector<double> both = def;
+    both[inter.knob_a] = inter.center_a;
+    both[inter.knob_b] = inter.center_b;
+    const double joint_gain = sysbench_.InteractionContribution(i, both);
+    std::vector<double> only_a = def;
+    only_a[inter.knob_a] = inter.center_a;
+    const double partial_gain = sysbench_.InteractionContribution(i, only_a);
+    EXPECT_GT(joint_gain, 1.5 * std::abs(partial_gain));
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(ResponseSurfaceTest, GroupEffectsSumMatchesMainEffects) {
+  Rng rng(6);
+  const std::vector<double> unit = space_.ToUnit(space_.SampleUniform(rng));
+  const std::vector<double> groups = sysbench_.GroupEffects(unit, 8);
+  double group_sum = 0.0;
+  for (double g : groups) group_sum += g;
+  double direct = 0.0;
+  for (size_t r = 0; r < space_.dimension(); ++r) {
+    direct += sysbench_.KnobContribution(r, unit);
+  }
+  EXPECT_NEAR(group_sum, direct, 1e-9);
+}
+
+TEST_F(ResponseSurfaceTest, CategoricalEffectsAreNonOrdinal) {
+  // Find a categorical effect with >=3 categories and check its category
+  // effects are not monotone in the index for at least one knob (the
+  // mixed-kernel vs RBF distinction).
+  bool found_non_monotone = false;
+  for (const auto& effect : sysbench_.effects()) {
+    if (effect.shape != ResponseSurface::EffectShape::kCategorical) continue;
+    const auto& ce = effect.category_effects;
+    if (ce.size() < 3) continue;
+    bool increasing = true, decreasing = true;
+    for (size_t i = 1; i < ce.size(); ++i) {
+      if (ce[i] < ce[i - 1]) increasing = false;
+      if (ce[i] > ce[i - 1]) decreasing = false;
+    }
+    if (!increasing && !decreasing) {
+      found_non_monotone = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_non_monotone);
+}
+
+}  // namespace
+}  // namespace dbtune

@@ -1,0 +1,99 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "knobs/catalog.h"
+#include "sampling/latin_hypercube.h"
+#include "sampling/sobol.h"
+
+namespace dbtune {
+namespace {
+
+TEST(LatinHypercubeTest, StratifiesEveryDimension) {
+  Rng rng(1);
+  const size_t n = 16, d = 4;
+  const auto points = LatinHypercubeUnit(n, d, rng);
+  ASSERT_EQ(points.size(), n);
+  for (size_t dim = 0; dim < d; ++dim) {
+    std::set<size_t> bins;
+    for (const auto& p : points) {
+      EXPECT_GE(p[dim], 0.0);
+      EXPECT_LT(p[dim], 1.0);
+      bins.insert(static_cast<size_t>(p[dim] * static_cast<double>(n)));
+    }
+    // Exactly one point per bin per dimension.
+    EXPECT_EQ(bins.size(), n) << "dimension " << dim;
+  }
+}
+
+TEST(LatinHypercubeTest, DeterministicGivenSeed) {
+  Rng a(9), b(9);
+  const auto pa = LatinHypercubeUnit(8, 3, a);
+  const auto pb = LatinHypercubeUnit(8, 3, b);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(LatinHypercubeTest, ConfigurationsAreValid) {
+  const ConfigurationSpace space = SmallTestCatalog();
+  Rng rng(2);
+  const auto configs = LatinHypercubeSample(space, 20, rng);
+  ASSERT_EQ(configs.size(), 20u);
+  for (const Configuration& c : configs) {
+    EXPECT_TRUE(space.Validate(c).ok());
+  }
+}
+
+TEST(QuasiRandomTest, PointsInUnitCube) {
+  Rng rng(3);
+  QuasiRandomSequence seq(5, rng);
+  for (int i = 0; i < 100; ++i) {
+    const auto p = seq.Next();
+    ASSERT_EQ(p.size(), 5u);
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(QuasiRandomTest, LowDiscrepancyInFirstDimension) {
+  Rng rng(4);
+  QuasiRandomSequence seq(1, rng);
+  const size_t n = 128;
+  std::vector<double> values;
+  for (size_t i = 0; i < n; ++i) values.push_back(seq.Next()[0]);
+  std::sort(values.begin(), values.end());
+  // Largest gap between consecutive points stays small (far below the
+  // ~log(n)/n expected from iid uniforms).
+  double max_gap = values.front();
+  for (size_t i = 1; i < n; ++i) {
+    max_gap = std::max(max_gap, values[i] - values[i - 1]);
+  }
+  max_gap = std::max(max_gap, 1.0 - values.back());
+  EXPECT_LT(max_gap, 0.05);
+}
+
+TEST(QuasiRandomTest, SampleProducesValidConfigs) {
+  const ConfigurationSpace space = SmallTestCatalog();
+  Rng rng(5);
+  QuasiRandomSequence seq(space.dimension(), rng);
+  const auto configs = seq.Sample(space, 10);
+  ASSERT_EQ(configs.size(), 10u);
+  for (const Configuration& c : configs) {
+    EXPECT_TRUE(space.Validate(c).ok());
+  }
+}
+
+TEST(QuasiRandomTest, ScramblingVariesWithSeed) {
+  Rng a(1), b(2);
+  QuasiRandomSequence sa(3, a), sb(3, b);
+  bool differed = false;
+  for (int i = 0; i < 10; ++i) {
+    if (sa.Next() != sb.Next()) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+}  // namespace
+}  // namespace dbtune

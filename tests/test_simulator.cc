@@ -1,0 +1,150 @@
+#include "dbms/simulator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "knobs/catalog.h"
+
+namespace dbtune {
+namespace {
+
+TEST(SimulatorTest, DefaultEvaluationSucceeds) {
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 1);
+  const EvaluationResult result = sim.Evaluate(sim.EffectiveDefault());
+  EXPECT_FALSE(result.failed);
+  EXPECT_GT(result.objective, 0.0);
+  EXPECT_EQ(result.internal_metrics.size(), kNumInternalMetrics);
+  EXPECT_GT(result.evaluation_seconds, 0.0);
+}
+
+TEST(SimulatorTest, EffectiveDefaultRaisesBufferPool) {
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 1);
+  const Configuration def = sim.EffectiveDefault();
+  const size_t bp = *sim.space().KnobIndex("innodb_buffer_pool_size");
+  const double ram_bytes = 16.0 * 1024 * 1024 * 1024;
+  EXPECT_NEAR(def[bp], 0.6 * ram_bytes, 0.01 * ram_bytes);
+}
+
+TEST(SimulatorTest, OversizedBufferPoolCrashes) {
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 1);
+  Configuration c = sim.EffectiveDefault();
+  const size_t bp = *sim.space().KnobIndex("innodb_buffer_pool_size");
+  c[bp] = 60.0 * 1024 * 1024 * 1024;  // 60 GiB on a 16 GiB instance
+  EXPECT_TRUE(sim.WouldCrash(c));
+  const EvaluationResult result = sim.Evaluate(c);
+  EXPECT_TRUE(result.failed);
+  EXPECT_DOUBLE_EQ(result.objective, 0.0);
+}
+
+TEST(SimulatorTest, PerSessionBuffersCountTowardMemory) {
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 1);
+  Configuration c = sim.EffectiveDefault();
+  const size_t sort = *sim.space().KnobIndex("sort_buffer_size");
+  const size_t join = *sim.space().KnobIndex("join_buffer_size");
+  c[sort] = 512.0 * 1024 * 1024;
+  c[join] = 512.0 * 1024 * 1024;  // 64 sessions x 1 GiB >> RAM
+  EXPECT_TRUE(sim.WouldCrash(c));
+}
+
+TEST(SimulatorTest, NoiseIsSmall) {
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 7);
+  const Configuration def = sim.EffectiveDefault();
+  const double noiseless = sim.NoiselessObjective(def);
+  for (int i = 0; i < 20; ++i) {
+    const EvaluationResult result = sim.Evaluate(def);
+    EXPECT_NEAR(result.objective / noiseless, 1.0, 0.10);
+  }
+}
+
+TEST(SimulatorTest, HardwareScalesThroughput) {
+  DbmsSimulator small(WorkloadId::kTpcc, HardwareInstance::kA, 1);
+  DbmsSimulator large(WorkloadId::kTpcc, HardwareInstance::kD, 1);
+  const double tps_small = small.NoiselessObjective(small.space().Default());
+  const double tps_large = large.NoiselessObjective(large.space().Default());
+  EXPECT_GT(tps_large, 2.0 * tps_small);
+}
+
+TEST(SimulatorTest, LatencyWorkloadInverted) {
+  DbmsSimulator job_b(WorkloadId::kJob, HardwareInstance::kB, 1);
+  DbmsSimulator job_d(WorkloadId::kJob, HardwareInstance::kD, 1);
+  // Faster hardware => lower latency.
+  EXPECT_LT(job_d.NoiselessObjective(job_d.space().Default()),
+            job_b.NoiselessObjective(job_b.space().Default()));
+}
+
+TEST(SimulatorTest, JobDefaultLatencyNearPaper) {
+  // The paper reports a ~200s default latency for JOB on instance B.
+  DbmsSimulator sim(WorkloadId::kJob, HardwareInstance::kB, 1);
+  const double latency = sim.NoiselessObjective(sim.EffectiveDefault());
+  EXPECT_GT(latency, 120.0);
+  EXPECT_LT(latency, 320.0);
+}
+
+TEST(SimulatorTest, InternalMetricsDependOnConfiguration) {
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 1);
+  Rng rng(5);
+  const EvaluationResult a = sim.Evaluate(sim.EffectiveDefault());
+  // A config with a very different surface position.
+  Configuration c = sim.EffectiveDefault();
+  EvaluationResult b;
+  do {
+    c = sim.space().SampleUniform(rng);
+    b = sim.Evaluate(c);
+  } while (b.failed);
+  double distance = 0.0;
+  for (size_t m = 0; m < kNumInternalMetrics; ++m) {
+    distance += std::abs(a.internal_metrics[m] - b.internal_metrics[m]);
+  }
+  EXPECT_GT(distance, 0.5);
+}
+
+TEST(SimulatorTest, SimilarWorkloadsHaveCloserMetrics) {
+  // Transactional workloads should produce metric signatures closer to
+  // each other than to the analytical JOB (basis of workload mapping).
+  auto signature = [](WorkloadId id) {
+    DbmsSimulator sim(id, HardwareInstance::kB, 1);
+    const EvaluationResult r = sim.Evaluate(sim.EffectiveDefault());
+    return r.internal_metrics;
+  };
+  const auto tpcc = signature(WorkloadId::kTpcc);
+  const auto seats = signature(WorkloadId::kSeats);
+  const auto job = signature(WorkloadId::kJob);
+  double d_txn = 0.0, d_job = 0.0;
+  for (size_t m = 0; m < kNumInternalMetrics; ++m) {
+    d_txn += (tpcc[m] - seats[m]) * (tpcc[m] - seats[m]);
+    d_job += (tpcc[m] - job[m]) * (tpcc[m] - job[m]);
+  }
+  EXPECT_LT(d_txn, d_job);
+}
+
+TEST(SimulatorTest, TimeAccounting) {
+  DbmsSimulator sim(WorkloadId::kVoter, HardwareInstance::kB, 1);
+  EXPECT_DOUBLE_EQ(sim.simulated_seconds(), 0.0);
+  sim.Evaluate(sim.EffectiveDefault());
+  const double after_one = sim.simulated_seconds();
+  EXPECT_GT(after_one, 100.0);  // restart + 3-minute stress test
+  sim.Evaluate(sim.EffectiveDefault());
+  EXPECT_NEAR(sim.simulated_seconds(), 2 * after_one, 1e-9);
+  EXPECT_EQ(sim.evaluation_count(), 2u);
+}
+
+TEST(SimulatorTest, WorksWithSmallCatalog) {
+  DbmsSimulator sim(SmallTestCatalog(), WorkloadId::kTatp,
+                    HardwareInstance::kB, 1);
+  const EvaluationResult result = sim.Evaluate(sim.EffectiveDefault());
+  EXPECT_FALSE(result.failed);
+  EXPECT_GT(result.objective, 0.0);
+}
+
+TEST(SimulatorTest, ClipsInvalidValues) {
+  DbmsSimulator sim(SmallTestCatalog(), WorkloadId::kTatp,
+                    HardwareInstance::kB, 1);
+  Configuration c = sim.space().Default();
+  c[0] = -1e18;  // far below the domain
+  const EvaluationResult result = sim.Evaluate(c);
+  EXPECT_GT(result.objective, 0.0);  // evaluated at the clipped value
+}
+
+}  // namespace
+}  // namespace dbtune

@@ -1,0 +1,94 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dbtune {
+namespace {
+
+TEST(StatsTest, MeanVarianceStdDev) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Median(v), 25.0);
+  EXPECT_NEAR(Quantile(v, 0.95), 38.5, 1e-12);
+}
+
+TEST(StatsTest, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+}
+
+TEST(StatsTest, ArgSort) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_EQ(ArgSortAscending(v), (std::vector<size_t>{1, 2, 0}));
+  EXPECT_EQ(ArgSortDescending(v), (std::vector<size_t>{0, 2, 1}));
+}
+
+TEST(StatsTest, ArgSortStableOnTies) {
+  const std::vector<double> v = {1.0, 1.0, 0.0};
+  EXPECT_EQ(ArgSortAscending(v), (std::vector<size_t>{2, 0, 1}));
+}
+
+TEST(StatsTest, RanksWithTies) {
+  const std::vector<double> v = {10, 20, 20, 30};
+  const std::vector<double> r = Ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  const std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantInputIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, SpearmanMonotonicIsOne) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {1, 10, 100, 1000};  // nonlinear, monotone
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(StatsTest, RSquaredPerfectAndBaseline) {
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RSquared(y, y), 1.0);
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(RSquared(y, mean_pred), 0.0, 1e-12);
+}
+
+TEST(StatsTest, RmseKnownValue) {
+  EXPECT_DOUBLE_EQ(Rmse({0, 0}, {3, 4}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(Rmse({1, 2}, {1, 2}), 0.0);
+}
+
+TEST(StatsTest, IntersectionOverUnion) {
+  EXPECT_DOUBLE_EQ(IntersectionOverUnion({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(IntersectionOverUnion({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(IntersectionOverUnion({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(IntersectionOverUnion({}, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace dbtune

@@ -1,0 +1,136 @@
+#include "benchmk/surrogate_benchmark.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmk/data_collector.h"
+#include "knobs/catalog.h"
+#include "util/stats.h"
+
+namespace dbtune {
+namespace {
+
+std::vector<size_t> FirstKnobs(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+TEST(DataCollectorTest, CollectsRequestedSamples) {
+  DbmsSimulator sim(SmallTestCatalog(), WorkloadId::kSysbench,
+                    HardwareInstance::kB, 1);
+  CollectionOptions options;
+  options.lhs_samples = 120;
+  Result<TuningDataset> dataset =
+      CollectDataset(&sim, FirstKnobs(sim.space().dimension()), options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->unit_x.size(), 120u);
+  EXPECT_EQ(dataset->objectives.size(), 120u);
+  EXPECT_GT(dataset->default_objective, 0.0);
+  EXPECT_GT(dataset->simulated_collection_seconds, 0.0);
+}
+
+TEST(DataCollectorTest, OptimizerGuidedSamplesAdded) {
+  DbmsSimulator sim(SmallTestCatalog(), WorkloadId::kTpcc,
+                    HardwareInstance::kB, 2);
+  CollectionOptions options;
+  options.lhs_samples = 60;
+  options.optimizer_guided_samples = 20;
+  Result<TuningDataset> dataset =
+      CollectDataset(&sim, FirstKnobs(sim.space().dimension()), options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->unit_x.size(), 80u);
+}
+
+TEST(DataCollectorTest, FailedConfigsGetWorstObjective) {
+  DbmsSimulator sim(WorkloadId::kSysbench, HardwareInstance::kB, 3);
+  // Tune only the buffer pool: large values crash.
+  const size_t bp = *sim.space().KnobIndex("innodb_buffer_pool_size");
+  CollectionOptions options;
+  options.lhs_samples = 60;
+  Result<TuningDataset> dataset = CollectDataset(&sim, {bp}, options);
+  ASSERT_TRUE(dataset.ok());
+  // Every objective is positive (failed ones substituted).
+  for (double obj : dataset->objectives) EXPECT_GT(obj, 0.0);
+}
+
+TEST(DataCollectorTest, RejectsZeroSamples) {
+  DbmsSimulator sim(SmallTestCatalog(), WorkloadId::kVoter,
+                    HardwareInstance::kB, 4);
+  CollectionOptions options;
+  options.lhs_samples = 0;
+  EXPECT_FALSE(CollectDataset(&sim, {0, 1}, options).ok());
+}
+
+class SurrogateBenchmarkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<DbmsSimulator>(
+        SmallTestCatalog(), WorkloadId::kSysbench, HardwareInstance::kB, 5);
+    CollectionOptions options;
+    options.lhs_samples = 400;
+    options.seed = 6;
+    Result<TuningDataset> dataset = CollectDataset(
+        sim_.get(), FirstKnobs(sim_->space().dimension()), options);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset.value());
+    Result<std::unique_ptr<SurrogateBenchmark>> benchmark =
+        SurrogateBenchmark::Build(dataset_);
+    ASSERT_TRUE(benchmark.ok());
+    benchmark_ = std::move(benchmark.value());
+  }
+
+  std::unique_ptr<DbmsSimulator> sim_;
+  TuningDataset dataset_;
+  std::unique_ptr<SurrogateBenchmark> benchmark_;
+};
+
+TEST_F(SurrogateBenchmarkTest, PredictionsCorrelateWithSimulator) {
+  Rng rng(7);
+  std::vector<double> predicted, actual;
+  for (int i = 0; i < 60; ++i) {
+    const Configuration c = benchmark_->space().SampleUniform(rng);
+    predicted.push_back(benchmark_->PredictObjective(c));
+    actual.push_back(sim_->NoiselessObjective(c));
+  }
+  EXPECT_GT(SpearmanCorrelation(predicted, actual), 0.6);
+}
+
+TEST_F(SurrogateBenchmarkTest, EvaluationAccounting) {
+  const size_t before = benchmark_->evaluation_count();
+  benchmark_->PredictObjective(benchmark_->space().Default());
+  EXPECT_EQ(benchmark_->evaluation_count(), before + 1);
+  EXPECT_GT(benchmark_->EquivalentRealSeconds(), 0.0);
+  // The whole point: the surrogate answers much faster than a 3-minute
+  // stress test would.
+  EXPECT_LT(benchmark_->evaluation_seconds(),
+            benchmark_->EquivalentRealSeconds() / 100.0);
+}
+
+TEST_F(SurrogateBenchmarkTest, ScoreDirectionMatchesWorkload) {
+  EXPECT_EQ(benchmark_->objective_kind(), ObjectiveKind::kThroughput);
+  const Configuration def = benchmark_->space().Default();
+  EXPECT_DOUBLE_EQ(benchmark_->Score(def), benchmark_->PredictObjective(def));
+}
+
+TEST_F(SurrogateBenchmarkTest, SurrogateSessionImproves) {
+  const SessionResult result =
+      RunSurrogateSession(benchmark_.get(), OptimizerType::kSmac, 50, 8);
+  EXPECT_EQ(result.improvement_trace.size(), 50u);
+  EXPECT_GT(result.final_improvement, 0.0);
+}
+
+TEST_F(SurrogateBenchmarkTest, PreservesOptimizerOrderingVsRandom) {
+  const SessionResult smac =
+      RunSurrogateSession(benchmark_.get(), OptimizerType::kSmac, 60, 9);
+  const SessionResult random = RunSurrogateSession(
+      benchmark_.get(), OptimizerType::kRandomSearch, 60, 9);
+  EXPECT_GE(smac.final_improvement, random.final_improvement - 1.0);
+}
+
+TEST(SurrogateBenchmarkBuildTest, RejectsEmptyDataset) {
+  TuningDataset dataset;
+  EXPECT_FALSE(SurrogateBenchmark::Build(dataset).ok());
+}
+
+}  // namespace
+}  // namespace dbtune

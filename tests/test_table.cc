@@ -1,0 +1,42 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dbtune {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"xxxx", "y"});
+  const std::string out = table.ToString();
+  // Every line has the same length.
+  size_t first_len = out.find('\n');
+  size_t pos = first_len + 1;
+  while (pos < out.size()) {
+    const size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Num(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace dbtune

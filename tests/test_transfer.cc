@@ -1,0 +1,221 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dbms/environment.h"
+#include "knobs/catalog.h"
+#include "transfer/fine_tune.h"
+#include "transfer/repository.h"
+#include "transfer/rgpe.h"
+#include "transfer/workload_mapping.h"
+
+namespace dbtune {
+namespace {
+
+// Builds a repository with one task whose surface matches `target` and one
+// adversarial task with inverted scores.
+ObservationRepository MakeRepository(const ConfigurationSpace& space,
+                                     uint64_t seed) {
+  ObservationRepository repo;
+  Rng rng(seed);
+  SourceTask helpful, adversarial;
+  helpful.name = "helpful";
+  adversarial.name = "adversarial";
+  for (int i = 0; i < 60; ++i) {
+    std::vector<double> u(space.dimension());
+    for (double& v : u) v = rng.Uniform();
+    // Shared synthetic truth: peak at 0.8 in dim 0.
+    const double score = -(u[0] - 0.8) * (u[0] - 0.8);
+    helpful.unit_x.push_back(u);
+    helpful.scores.push_back(score);
+    adversarial.unit_x.push_back(u);
+    adversarial.scores.push_back(-score);  // inverted: misleading
+  }
+  helpful.metric_signature.assign(40, 0.0);
+  adversarial.metric_signature.assign(40, 1.0);
+  repo.AddTask(helpful);
+  repo.AddTask(adversarial);
+  return repo;
+}
+
+ConfigurationSpace MakeSpace() {
+  std::vector<Knob> knobs;
+  for (int i = 0; i < 4; ++i) {
+    knobs.push_back(
+        Knob::Continuous("x" + std::to_string(i), 0.0, 1.0, 0.5));
+  }
+  return ConfigurationSpace(std::move(knobs));
+}
+
+double TargetObjective(const Configuration& c) {
+  return -(c[0] - 0.8) * (c[0] - 0.8) - 0.2 * (c[1] - 0.3) * (c[1] - 0.3);
+}
+
+TEST(RepositoryTest, FromHistoryAggregates) {
+  const ConfigurationSpace space = MakeSpace();
+  std::vector<Observation> history;
+  Observation a;
+  a.config = Configuration({0.1, 0.2, 0.3, 0.4});
+  a.score = 1.0;
+  a.internal_metrics = {1.0, 3.0};
+  history.push_back(a);
+  Observation b;
+  b.config = Configuration({0.5, 0.5, 0.5, 0.5});
+  b.score = 2.0;
+  b.internal_metrics = {3.0, 5.0};
+  history.push_back(b);
+  Observation failed;
+  failed.config = Configuration({0.9, 0.9, 0.9, 0.9});
+  failed.score = 0.5;
+  failed.failed = true;
+  failed.internal_metrics = {100.0, 100.0};
+  history.push_back(failed);
+
+  const SourceTask task =
+      ObservationRepository::FromHistory("t", space, history);
+  EXPECT_EQ(task.unit_x.size(), 3u);
+  EXPECT_EQ(task.scores.size(), 3u);
+  ASSERT_EQ(task.metric_signature.size(), 2u);
+  // Failed observation excluded from the signature.
+  EXPECT_DOUBLE_EQ(task.metric_signature[0], 2.0);
+  EXPECT_DOUBLE_EQ(task.metric_signature[1], 4.0);
+}
+
+TEST(RepositoryTest, StandardizeScores) {
+  const std::vector<double> z = StandardizeScores({1.0, 2.0, 3.0});
+  EXPECT_NEAR(z[0] + z[1] + z[2], 0.0, 1e-12);
+  EXPECT_GT(z[2], z[1]);
+  // Constant input stays finite.
+  for (double v : StandardizeScores({5.0, 5.0})) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(WorkloadMappingTest, MapsToNearestSignature) {
+  const ConfigurationSpace space = MakeSpace();
+  const ObservationRepository repo = MakeRepository(space, 1);
+  OptimizerOptions options;
+  options.seed = 2;
+  options.initial_design = 4;
+  WorkloadMappingOptimizer mapping(space, options, &repo,
+                                   TransferBase::kSmac);
+  Rng rng(3);
+  // Feed observations whose metrics sit at the helpful task's signature.
+  const std::vector<double> metrics(40, 0.05);
+  for (int i = 0; i < 8; ++i) {
+    const Configuration c = mapping.Suggest();
+    mapping.ObserveWithMetrics(c, TargetObjective(c), metrics);
+  }
+  mapping.Suggest();  // triggers mapping with enough data
+  EXPECT_EQ(mapping.mapped_task(), 0);  // the helpful task
+  EXPECT_EQ(mapping.name(), "Mapping (SMAC)");
+}
+
+TEST(WorkloadMappingTest, SuggestionsValidForBothBases) {
+  const ConfigurationSpace space = MakeSpace();
+  const ObservationRepository repo = MakeRepository(space, 4);
+  for (TransferBase base :
+       {TransferBase::kSmac, TransferBase::kMixedKernelBo}) {
+    OptimizerOptions options;
+    options.seed = 5;
+    options.initial_design = 4;
+    options.acquisition_candidates = 60;
+    WorkloadMappingOptimizer mapping(space, options, &repo, base);
+    const std::vector<double> metrics(40, 0.0);
+    for (int i = 0; i < 12; ++i) {
+      const Configuration c = mapping.Suggest();
+      EXPECT_TRUE(space.Validate(c).ok());
+      mapping.ObserveWithMetrics(c, TargetObjective(c), metrics);
+    }
+  }
+}
+
+TEST(RgpeTest, DownweightsAdversarialTask) {
+  const ConfigurationSpace space = MakeSpace();
+  const ObservationRepository repo = MakeRepository(space, 6);
+  OptimizerOptions options;
+  options.seed = 7;
+  options.initial_design = 8;
+  options.acquisition_candidates = 60;
+  RgpeOptimizer rgpe(space, options, &repo, TransferBase::kSmac);
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const Configuration c = rgpe.Suggest();
+    rgpe.Observe(c, TargetObjective(c));
+  }
+  // Weights: [helpful, adversarial, target]. The adversarial task must
+  // carry (near-)zero weight.
+  const std::vector<double>& weights = rgpe.last_weights();
+  ASSERT_EQ(weights.size(), 3u);
+  EXPECT_LT(weights[1], 0.15);
+  EXPECT_GT(weights[0] + weights[2], 0.8);
+  EXPECT_EQ(rgpe.name(), "RGPE (SMAC)");
+}
+
+TEST(RgpeTest, HelpfulSourceAcceleratesEarlyIterations) {
+  const ConfigurationSpace space = MakeSpace();
+  const ObservationRepository repo = MakeRepository(space, 9);
+
+  auto run = [&](bool with_transfer, uint64_t seed) {
+    OptimizerOptions options;
+    options.seed = seed;
+    options.initial_design = 5;
+    options.acquisition_candidates = 60;
+    std::unique_ptr<Optimizer> optimizer;
+    if (with_transfer) {
+      optimizer = std::make_unique<RgpeOptimizer>(space, options, &repo,
+                                                  TransferBase::kSmac);
+    } else {
+      optimizer = CreateOptimizer(OptimizerType::kSmac, space, options);
+    }
+    double best = -1e300;
+    for (int i = 0; i < 25; ++i) {
+      const Configuration c = optimizer->Suggest();
+      const double s = TargetObjective(c);
+      optimizer->Observe(c, s);
+      best = std::max(best, s);
+    }
+    return best;
+  };
+
+  double rgpe_total = 0.0, base_total = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    rgpe_total += run(true, seed);
+    base_total += run(false, seed);
+  }
+  // Transfer should at least not hurt on a matched source (and typically
+  // helps within this small budget).
+  EXPECT_GE(rgpe_total, base_total - 0.02);
+}
+
+TEST(FineTuneTest, PretrainProducesWeightsAndRepository) {
+  // Tiny pre-training run over two source workloads on the small catalog
+  // knob subset of the full catalog.
+  std::vector<size_t> knob_indices;
+  for (size_t i = 0; i < 6; ++i) knob_indices.push_back(i);
+  PretrainOptions options;
+  options.iterations_per_source = 12;
+  ObservationRepository repo;
+  Result<DdpgOptimizer::Weights> weights = PretrainDdpgOnSources(
+      {WorkloadId::kVoter, WorkloadId::kTatp}, knob_indices, options, &repo);
+  ASSERT_TRUE(weights.ok());
+  EXPECT_FALSE(weights->actor.empty());
+  EXPECT_EQ(repo.size(), 2u);
+  EXPECT_EQ(repo.tasks()[0].unit_x.size(), 12u);
+
+  // Fine-tuned optimizer accepts the weights.
+  const ConfigurationSpace space = MySqlKnobCatalog().Project(knob_indices);
+  OptimizerOptions optimizer_options;
+  Result<std::unique_ptr<DdpgOptimizer>> ddpg =
+      MakeFineTunedDdpg(space, optimizer_options, *weights);
+  ASSERT_TRUE(ddpg.ok());
+  EXPECT_EQ((*ddpg)->ExportWeights().actor, weights->actor);
+}
+
+TEST(FineTuneTest, RejectsEmptySources) {
+  EXPECT_FALSE(
+      PretrainDdpgOnSources({}, {0, 1}, PretrainOptions{}, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace dbtune

@@ -1,0 +1,84 @@
+#include "dbms/workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dbms/hardware.h"
+
+namespace dbtune {
+namespace {
+
+TEST(WorkloadTest, AllNineWorkloadsPresent) {
+  const std::vector<WorkloadId> all = AllWorkloads();
+  EXPECT_EQ(all.size(), 9u);
+  std::set<std::string> names;
+  for (WorkloadId id : all) names.insert(WorkloadName(id));
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(WorkloadTest, Table4Profiles) {
+  const WorkloadProfile& job = GetWorkloadProfile(WorkloadId::kJob);
+  EXPECT_EQ(job.workload_class, WorkloadClass::kAnalytical);
+  EXPECT_DOUBLE_EQ(job.read_only_fraction, 1.0);
+  EXPECT_EQ(job.objective, ObjectiveKind::kLatencyP95);
+  EXPECT_EQ(job.tables, 21);
+
+  const WorkloadProfile& sysbench = GetWorkloadProfile(WorkloadId::kSysbench);
+  EXPECT_EQ(sysbench.workload_class, WorkloadClass::kTransactional);
+  EXPECT_EQ(sysbench.objective, ObjectiveKind::kThroughput);
+  EXPECT_EQ(sysbench.tables, 150);
+  EXPECT_NEAR(sysbench.read_only_fraction, 0.43, 1e-9);
+
+  EXPECT_EQ(GetWorkloadProfile(WorkloadId::kTwitter).workload_class,
+            WorkloadClass::kWebOriented);
+  EXPECT_EQ(GetWorkloadProfile(WorkloadId::kSibench).workload_class,
+            WorkloadClass::kFeatureTesting);
+}
+
+TEST(WorkloadTest, ImportanceSparsityDiffers) {
+  // JOB concentrates importance in few knobs, SYSBENCH in ~20 — the basis
+  // of Figure 5's contrast.
+  EXPECT_LT(GetWorkloadProfile(WorkloadId::kJob).effective_important_knobs,
+            GetWorkloadProfile(WorkloadId::kSysbench)
+                .effective_important_knobs);
+}
+
+TEST(WorkloadTest, OltpSetExcludesJob) {
+  const std::vector<WorkloadId> oltp = OltpWorkloads();
+  EXPECT_EQ(oltp.size(), 8u);
+  for (WorkloadId id : oltp) {
+    EXPECT_NE(id, WorkloadId::kJob);
+  }
+}
+
+TEST(WorkloadTest, SurfaceSeedsAreDistinct) {
+  std::set<uint64_t> seeds;
+  for (WorkloadId id : AllWorkloads()) {
+    seeds.insert(GetWorkloadProfile(id).surface_seed);
+  }
+  EXPECT_EQ(seeds.size(), 9u);
+}
+
+TEST(HardwareTest, Table5Instances) {
+  const std::vector<HardwareInstance> all = AllHardwareInstances();
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_EQ(GetHardwareProfile(HardwareInstance::kA).cpu_cores, 4);
+  EXPECT_DOUBLE_EQ(GetHardwareProfile(HardwareInstance::kA).ram_gb, 8.0);
+  EXPECT_EQ(GetHardwareProfile(HardwareInstance::kD).cpu_cores, 32);
+  EXPECT_DOUBLE_EQ(GetHardwareProfile(HardwareInstance::kD).ram_gb, 64.0);
+}
+
+TEST(HardwareTest, PerformanceScalesWithSize) {
+  double prev = 0.0;
+  for (HardwareInstance id : AllHardwareInstances()) {
+    const double scale = GetHardwareProfile(id).performance_scale;
+    EXPECT_GT(scale, prev);
+    prev = scale;
+  }
+  EXPECT_DOUBLE_EQ(GetHardwareProfile(HardwareInstance::kB).performance_scale,
+                   1.0);
+}
+
+}  // namespace
+}  // namespace dbtune
