@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_surrogate_benchmark.dir/bench_fig10_surrogate_benchmark.cc.o"
+  "CMakeFiles/bench_fig10_surrogate_benchmark.dir/bench_fig10_surrogate_benchmark.cc.o.d"
+  "bench_fig10_surrogate_benchmark"
+  "bench_fig10_surrogate_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_surrogate_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

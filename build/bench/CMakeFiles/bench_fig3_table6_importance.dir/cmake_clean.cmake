@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_table6_importance.dir/bench_fig3_table6_importance.cc.o"
+  "CMakeFiles/bench_fig3_table6_importance.dir/bench_fig3_table6_importance.cc.o.d"
+  "bench_fig3_table6_importance"
+  "bench_fig3_table6_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_table6_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

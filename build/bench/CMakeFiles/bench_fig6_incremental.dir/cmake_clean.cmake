@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_incremental.dir/bench_fig6_incremental.cc.o"
+  "CMakeFiles/bench_fig6_incremental.dir/bench_fig6_incremental.cc.o.d"
+  "bench_fig6_incremental"
+  "bench_fig6_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

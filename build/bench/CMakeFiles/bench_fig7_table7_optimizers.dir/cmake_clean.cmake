@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_table7_optimizers.dir/bench_fig7_table7_optimizers.cc.o"
+  "CMakeFiles/bench_fig7_table7_optimizers.dir/bench_fig7_table7_optimizers.cc.o.d"
+  "bench_fig7_table7_optimizers"
+  "bench_fig7_table7_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_table7_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

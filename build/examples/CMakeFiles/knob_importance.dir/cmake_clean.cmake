@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knob_importance.dir/knob_importance.cc.o"
+  "CMakeFiles/knob_importance.dir/knob_importance.cc.o.d"
+  "knob_importance"
+  "knob_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knob_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surrogate_benchmark_demo.dir/surrogate_benchmark_demo.cc.o"
+  "CMakeFiles/surrogate_benchmark_demo.dir/surrogate_benchmark_demo.cc.o.d"
+  "surrogate_benchmark_demo"
+  "surrogate_benchmark_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surrogate_benchmark_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

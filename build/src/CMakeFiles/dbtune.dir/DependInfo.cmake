@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmk/data_collector.cc" "src/CMakeFiles/dbtune.dir/benchmk/data_collector.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/benchmk/data_collector.cc.o.d"
+  "/root/repo/src/benchmk/dataset_io.cc" "src/CMakeFiles/dbtune.dir/benchmk/dataset_io.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/benchmk/dataset_io.cc.o.d"
+  "/root/repo/src/benchmk/surrogate_benchmark.cc" "src/CMakeFiles/dbtune.dir/benchmk/surrogate_benchmark.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/benchmk/surrogate_benchmark.cc.o.d"
+  "/root/repo/src/core/advisor.cc" "src/CMakeFiles/dbtune.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/core/advisor.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/dbtune.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/tuning_session.cc" "src/CMakeFiles/dbtune.dir/core/tuning_session.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/core/tuning_session.cc.o.d"
+  "/root/repo/src/dbms/environment.cc" "src/CMakeFiles/dbtune.dir/dbms/environment.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/dbms/environment.cc.o.d"
+  "/root/repo/src/dbms/hardware.cc" "src/CMakeFiles/dbtune.dir/dbms/hardware.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/dbms/hardware.cc.o.d"
+  "/root/repo/src/dbms/response_surface.cc" "src/CMakeFiles/dbtune.dir/dbms/response_surface.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/dbms/response_surface.cc.o.d"
+  "/root/repo/src/dbms/simulator.cc" "src/CMakeFiles/dbtune.dir/dbms/simulator.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/dbms/simulator.cc.o.d"
+  "/root/repo/src/dbms/workload.cc" "src/CMakeFiles/dbtune.dir/dbms/workload.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/dbms/workload.cc.o.d"
+  "/root/repo/src/importance/ablation.cc" "src/CMakeFiles/dbtune.dir/importance/ablation.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/importance/ablation.cc.o.d"
+  "/root/repo/src/importance/fanova.cc" "src/CMakeFiles/dbtune.dir/importance/fanova.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/importance/fanova.cc.o.d"
+  "/root/repo/src/importance/gini.cc" "src/CMakeFiles/dbtune.dir/importance/gini.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/importance/gini.cc.o.d"
+  "/root/repo/src/importance/importance.cc" "src/CMakeFiles/dbtune.dir/importance/importance.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/importance/importance.cc.o.d"
+  "/root/repo/src/importance/incremental.cc" "src/CMakeFiles/dbtune.dir/importance/incremental.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/importance/incremental.cc.o.d"
+  "/root/repo/src/importance/lasso.cc" "src/CMakeFiles/dbtune.dir/importance/lasso.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/importance/lasso.cc.o.d"
+  "/root/repo/src/importance/shap.cc" "src/CMakeFiles/dbtune.dir/importance/shap.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/importance/shap.cc.o.d"
+  "/root/repo/src/knobs/catalog.cc" "src/CMakeFiles/dbtune.dir/knobs/catalog.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/knobs/catalog.cc.o.d"
+  "/root/repo/src/knobs/configuration.cc" "src/CMakeFiles/dbtune.dir/knobs/configuration.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/knobs/configuration.cc.o.d"
+  "/root/repo/src/knobs/configuration_space.cc" "src/CMakeFiles/dbtune.dir/knobs/configuration_space.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/knobs/configuration_space.cc.o.d"
+  "/root/repo/src/knobs/knob.cc" "src/CMakeFiles/dbtune.dir/knobs/knob.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/knobs/knob.cc.o.d"
+  "/root/repo/src/nn/adam.cc" "src/CMakeFiles/dbtune.dir/nn/adam.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/nn/adam.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/dbtune.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/optimizer/ddpg.cc" "src/CMakeFiles/dbtune.dir/optimizer/ddpg.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/optimizer/ddpg.cc.o.d"
+  "/root/repo/src/optimizer/genetic.cc" "src/CMakeFiles/dbtune.dir/optimizer/genetic.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/optimizer/genetic.cc.o.d"
+  "/root/repo/src/optimizer/gp_bo.cc" "src/CMakeFiles/dbtune.dir/optimizer/gp_bo.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/optimizer/gp_bo.cc.o.d"
+  "/root/repo/src/optimizer/mixed_kernel_bo.cc" "src/CMakeFiles/dbtune.dir/optimizer/mixed_kernel_bo.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/optimizer/mixed_kernel_bo.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/dbtune.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/random_search.cc" "src/CMakeFiles/dbtune.dir/optimizer/random_search.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/optimizer/random_search.cc.o.d"
+  "/root/repo/src/optimizer/smac.cc" "src/CMakeFiles/dbtune.dir/optimizer/smac.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/optimizer/smac.cc.o.d"
+  "/root/repo/src/optimizer/tpe.cc" "src/CMakeFiles/dbtune.dir/optimizer/tpe.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/optimizer/tpe.cc.o.d"
+  "/root/repo/src/optimizer/turbo.cc" "src/CMakeFiles/dbtune.dir/optimizer/turbo.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/optimizer/turbo.cc.o.d"
+  "/root/repo/src/sampling/latin_hypercube.cc" "src/CMakeFiles/dbtune.dir/sampling/latin_hypercube.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/sampling/latin_hypercube.cc.o.d"
+  "/root/repo/src/sampling/sobol.cc" "src/CMakeFiles/dbtune.dir/sampling/sobol.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/sampling/sobol.cc.o.d"
+  "/root/repo/src/surrogate/cross_validation.cc" "src/CMakeFiles/dbtune.dir/surrogate/cross_validation.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/surrogate/cross_validation.cc.o.d"
+  "/root/repo/src/surrogate/gaussian_process.cc" "src/CMakeFiles/dbtune.dir/surrogate/gaussian_process.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/surrogate/gaussian_process.cc.o.d"
+  "/root/repo/src/surrogate/gradient_boosting.cc" "src/CMakeFiles/dbtune.dir/surrogate/gradient_boosting.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/surrogate/gradient_boosting.cc.o.d"
+  "/root/repo/src/surrogate/kernels.cc" "src/CMakeFiles/dbtune.dir/surrogate/kernels.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/surrogate/kernels.cc.o.d"
+  "/root/repo/src/surrogate/knn.cc" "src/CMakeFiles/dbtune.dir/surrogate/knn.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/surrogate/knn.cc.o.d"
+  "/root/repo/src/surrogate/random_forest.cc" "src/CMakeFiles/dbtune.dir/surrogate/random_forest.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/surrogate/random_forest.cc.o.d"
+  "/root/repo/src/surrogate/regression_tree.cc" "src/CMakeFiles/dbtune.dir/surrogate/regression_tree.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/surrogate/regression_tree.cc.o.d"
+  "/root/repo/src/surrogate/regressor.cc" "src/CMakeFiles/dbtune.dir/surrogate/regressor.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/surrogate/regressor.cc.o.d"
+  "/root/repo/src/surrogate/ridge.cc" "src/CMakeFiles/dbtune.dir/surrogate/ridge.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/surrogate/ridge.cc.o.d"
+  "/root/repo/src/surrogate/svr.cc" "src/CMakeFiles/dbtune.dir/surrogate/svr.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/surrogate/svr.cc.o.d"
+  "/root/repo/src/transfer/fine_tune.cc" "src/CMakeFiles/dbtune.dir/transfer/fine_tune.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/transfer/fine_tune.cc.o.d"
+  "/root/repo/src/transfer/repository.cc" "src/CMakeFiles/dbtune.dir/transfer/repository.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/transfer/repository.cc.o.d"
+  "/root/repo/src/transfer/rgpe.cc" "src/CMakeFiles/dbtune.dir/transfer/rgpe.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/transfer/rgpe.cc.o.d"
+  "/root/repo/src/transfer/workload_mapping.cc" "src/CMakeFiles/dbtune.dir/transfer/workload_mapping.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/transfer/workload_mapping.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/dbtune.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/matrix.cc" "src/CMakeFiles/dbtune.dir/util/matrix.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/util/matrix.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/dbtune.dir/util/random.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/dbtune.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/dbtune.dir/util/status.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/dbtune.dir/util/table.cc.o" "gcc" "src/CMakeFiles/dbtune.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

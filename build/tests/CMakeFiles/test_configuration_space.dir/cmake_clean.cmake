@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_configuration_space.dir/test_configuration_space.cc.o"
+  "CMakeFiles/test_configuration_space.dir/test_configuration_space.cc.o.d"
+  "test_configuration_space"
+  "test_configuration_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_configuration_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_io.dir/test_dataset_io.cc.o"
+  "CMakeFiles/test_dataset_io.dir/test_dataset_io.cc.o.d"
+  "test_dataset_io"
+  "test_dataset_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_environment.dir/test_environment.cc.o"
+  "CMakeFiles/test_environment.dir/test_environment.cc.o.d"
+  "test_environment"
+  "test_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

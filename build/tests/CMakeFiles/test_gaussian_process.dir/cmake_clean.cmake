@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gaussian_process.dir/test_gaussian_process.cc.o"
+  "CMakeFiles/test_gaussian_process.dir/test_gaussian_process.cc.o.d"
+  "test_gaussian_process"
+  "test_gaussian_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gaussian_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimizers.dir/test_optimizers.cc.o"
+  "CMakeFiles/test_optimizers.dir/test_optimizers.cc.o.d"
+  "test_optimizers"
+  "test_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

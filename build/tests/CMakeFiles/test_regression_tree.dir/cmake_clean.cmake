@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regression_tree.dir/test_regression_tree.cc.o"
+  "CMakeFiles/test_regression_tree.dir/test_regression_tree.cc.o.d"
+  "test_regression_tree"
+  "test_regression_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regression_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_response_surface.dir/test_response_surface.cc.o"
+  "CMakeFiles/test_response_surface.dir/test_response_surface.cc.o.d"
+  "test_response_surface"
+  "test_response_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_response_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surrogate_benchmark.dir/test_surrogate_benchmark.cc.o"
+  "CMakeFiles/test_surrogate_benchmark.dir/test_surrogate_benchmark.cc.o.d"
+  "test_surrogate_benchmark"
+  "test_surrogate_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surrogate_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
