@@ -9,12 +9,26 @@
 // cubically with the iteration count; SMAC, TPE, DDPG and GA stay flat;
 // TuRBO stays moderate thanks to its local models.
 
+// In addition to the google-benchmark suite, the binary opens with a
+// thread-scaling report: GP fit, RF fit, and one full BO iteration timed
+// at 1, 2, and hardware_concurrency() pool threads, emitted as JSON lines
+// so the bench trajectory can track the parallel-layer speedup.
+
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <memory>
 
 #include "dbms/environment.h"
 #include "knobs/catalog.h"
 #include "optimizer/optimizer.h"
 #include "sampling/latin_hypercube.h"
+#include "surrogate/gaussian_process.h"
+#include "surrogate/random_forest.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -93,6 +107,171 @@ void RegisterAll() {
   }
 }
 
+// --- Thread-scaling report ------------------------------------------------
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+FeatureMatrix RandomInputs(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  FeatureMatrix x(n, std::vector<double>(d));
+  for (auto& row : x) {
+    for (double& v : row) v = rng.Uniform();
+  }
+  return x;
+}
+
+std::vector<double> SyntheticTargets(const FeatureMatrix& x) {
+  std::vector<double> y;
+  y.reserve(x.size());
+  for (const auto& row : x) {
+    double s = 0.0;
+    for (size_t j = 0; j < row.size(); ++j) {
+      s += std::sin(4.0 * row[j]) / static_cast<double>(j + 1);
+    }
+    y.push_back(s);
+  }
+  return y;
+}
+
+// One scaling task: returns (seconds, output checksum). The checksum is
+// compared across thread counts to assert bit-identical results.
+struct TaskResult {
+  double seconds = 0.0;
+  double checksum = 0.0;
+};
+
+TaskResult TimeGpFit(const FeatureMatrix& x, const std::vector<double>& y,
+                     const FeatureMatrix& queries) {
+  GaussianProcessOptions options;
+  options.hyperopt_every = 1;
+  GaussianProcess gp(std::make_unique<Matern52Kernel>(), options);
+  const double start = NowSeconds();
+  const Status fit = gp.Fit(x, y);
+  TaskResult result;
+  result.seconds = NowSeconds() - start;
+  if (!fit.ok()) return result;
+  result.checksum = gp.log_marginal_likelihood();
+  for (const auto& q : queries) {
+    double mean = 0.0, var = 0.0;
+    gp.PredictMeanVar(q, &mean, &var);
+    result.checksum += mean + var;
+  }
+  return result;
+}
+
+TaskResult TimeRfFit(const FeatureMatrix& x, const std::vector<double>& y,
+                     const FeatureMatrix& queries) {
+  RandomForestOptions options;
+  options.num_trees = 100;
+  options.seed = 97;
+  RandomForest forest(options);
+  const double start = NowSeconds();
+  const Status fit = forest.Fit(x, y);
+  TaskResult result;
+  result.seconds = NowSeconds() - start;
+  if (!fit.ok()) return result;
+  for (const auto& q : queries) {
+    double mean = 0.0, var = 0.0;
+    forest.PredictMeanVar(q, &mean, &var);
+    result.checksum += mean + var;
+  }
+  return result;
+}
+
+// One full BO iteration (surrogate fit + acquisition maximization) on a
+// 200-observation history — the per-iteration wall clock that Figure 9
+// tracks, for the optimizer `type`.
+TaskResult TimeBoIteration(OptimizerType type,
+                           const std::vector<Observation>& observations) {
+  const ConfigurationSpace& space = MediumSpace();
+  OptimizerOptions options;
+  options.seed = 7;
+  options.initial_design = 0;
+  std::unique_ptr<Optimizer> optimizer = CreateOptimizer(type, space, options);
+  for (const Observation& obs : observations) {
+    optimizer->ObserveWithMetrics(obs.config, obs.score,
+                                  obs.internal_metrics);
+  }
+  const double start = NowSeconds();
+  const Configuration suggestion = optimizer->Suggest();
+  TaskResult result;
+  result.seconds = NowSeconds() - start;
+  for (size_t i = 0; i < suggestion.size(); ++i) {
+    result.checksum += suggestion[i] * static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+void PrintScalingLine(const char* task, size_t threads, const TaskResult& r,
+                      const TaskResult& baseline) {
+  const bool identical = r.checksum == baseline.checksum;
+  std::printf(
+      "{\"bench\":\"fig9_thread_scaling\",\"task\":\"%s\","
+      "\"threads\":%zu,\"seconds\":%.6f,\"speedup_vs_1t\":%.3f,"
+      "\"identical_to_1t\":%s}\n",
+      task, threads, r.seconds,
+      r.seconds > 0.0 ? baseline.seconds / r.seconds : 0.0,
+      identical ? "true" : "false");
+}
+
+void RunThreadScalingReport() {
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  std::vector<size_t> thread_counts = {1};
+  if (hw >= 2) thread_counts.push_back(2);
+  if (hw > 2) thread_counts.push_back(hw);
+
+  // GP fit at n=500 and RF fit with 100 trees: the two surrogate costs
+  // that dominate a BO iteration.
+  const FeatureMatrix gp_x = RandomInputs(500, 20, 101);
+  const std::vector<double> gp_y = SyntheticTargets(gp_x);
+  const FeatureMatrix rf_x = RandomInputs(1000, 20, 103);
+  const std::vector<double> rf_y = SyntheticTargets(rf_x);
+  const FeatureMatrix queries = RandomInputs(50, 20, 107);
+
+  DbmsSimulator sim(WorkloadId::kJob, HardwareInstance::kB, 2);
+  const std::vector<size_t> ranking = sim.surface().TunabilityRanking();
+  const std::vector<size_t> top20(ranking.begin(), ranking.begin() + 20);
+  TuningEnvironment env(&sim, top20);
+  Rng rng(3);
+  std::vector<Observation> observations;
+  for (const Configuration& c : LatinHypercubeSample(MediumSpace(), 200, rng)) {
+    observations.push_back(env.Evaluate(c));
+  }
+
+  struct Task {
+    const char* name;
+    std::function<TaskResult()> run;
+  };
+  const std::vector<Task> tasks = {
+      {"gp_fit_n500", [&] { return TimeGpFit(gp_x, gp_y, queries); }},
+      {"rf_fit_100trees", [&] { return TimeRfFit(rf_x, rf_y, queries); }},
+      {"bo_iteration_vanilla_bo",
+       [&] { return TimeBoIteration(OptimizerType::kVanillaBo, observations); }},
+      {"bo_iteration_smac",
+       [&] { return TimeBoIteration(OptimizerType::kSmac, observations); }},
+  };
+
+  std::printf("--- thread scaling (JSON) ---\n");
+  for (const Task& task : tasks) {
+    TaskResult baseline;
+    for (size_t threads : thread_counts) {
+      ExecutionContext::Get().SetNumThreads(threads);
+      // Warm-up run absorbs pool spin-up and cache effects; the timed
+      // run follows.
+      task.run();
+      const TaskResult r = task.run();
+      if (threads == 1) baseline = r;
+      PrintScalingLine(task.name, threads, r, baseline);
+    }
+  }
+  ExecutionContext::Get().SetNumThreads(hw);
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +279,7 @@ int main(int argc, char** argv) {
   std::printf("paper shape: GP-based optimizers grow cubically with the\n"
               "number of observations (>10s after 200 iters on the paper's\n"
               "hardware); RF/TPE/GA/DDPG stay near-constant.\n\n");
+  RunThreadScalingReport();
   RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -19,6 +19,7 @@
 #include "sampling/latin_hypercube.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace dbtune::bench {
 
@@ -97,14 +98,23 @@ inline SessionSummary RunSessions(WorkloadId workload,
                                   OptimizerType optimizer, size_t iterations,
                                   int num_runs, uint64_t seed_base) {
   SessionSummary summary;
+  summary.runs.resize(static_cast<size_t>(num_runs));
+  // Replications are fully independent (each owns its simulator and its
+  // seed) and land in their run slot, so the summary is identical to the
+  // sequential loop at any pool size.
+  ParallelFor(GlobalPool(), 0, static_cast<size_t>(num_runs), /*grain=*/1,
+              [&](size_t begin, size_t end) {
+                for (size_t run = begin; run < end; ++run) {
+                  DbmsSimulator sim(workload, hardware,
+                                    seed_base + 1000 * run);
+                  summary.runs[run] = RunTuningSession(
+                      &sim, knobs, optimizer, iterations, seed_base + run);
+                }
+              });
   std::vector<double> improvements, best_iters;
-  for (int run = 0; run < num_runs; ++run) {
-    DbmsSimulator sim(workload, hardware, seed_base + 1000 * run);
-    summary.runs.push_back(RunTuningSession(
-        &sim, knobs, optimizer, iterations, seed_base + run));
-    improvements.push_back(summary.runs.back().final_improvement);
-    best_iters.push_back(
-        static_cast<double>(summary.runs.back().best_iteration));
+  for (const SessionResult& run : summary.runs) {
+    improvements.push_back(run.final_improvement);
+    best_iters.push_back(static_cast<double>(run.best_iteration));
   }
   summary.median_improvement = Median(improvements);
   summary.median_best_iteration = Median(best_iters);

@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace dbtune {
 
@@ -52,18 +53,28 @@ Configuration GpBoOptimizer::Suggest() {
     candidates.push_back(std::move(u));
   }
 
+  // Candidates are independent GP posterior queries: score them in
+  // parallel, then reduce sequentially so ties keep resolving to the
+  // lowest index regardless of pool size.
+  std::vector<double> ei(candidates.size());
+  ParallelFor(GlobalPool(), 0, candidates.size(), /*grain=*/16,
+              [&](size_t begin, size_t end) {
+                for (size_t c = begin; c < end; ++c) {
+                  // Snap to a feasible configuration before scoring: the
+                  // GP must judge the point that will actually be
+                  // evaluated.
+                  const Configuration config = space_.FromUnit(candidates[c]);
+                  const std::vector<double> u = space_.ToUnit(config);
+                  double mean = 0.0, var = 0.0;
+                  gp_.PredictMeanVar(u, &mean, &var);
+                  ei[c] = ExpectedImprovement(mean, var, best);
+                }
+              });
   double best_ei = -1.0;
   size_t best_candidate = 0;
   for (size_t c = 0; c < candidates.size(); ++c) {
-    // Snap to a feasible configuration before scoring: the GP must judge
-    // the point that will actually be evaluated.
-    const Configuration config = space_.FromUnit(candidates[c]);
-    const std::vector<double> u = space_.ToUnit(config);
-    double mean = 0.0, var = 0.0;
-    gp_.PredictMeanVar(u, &mean, &var);
-    const double ei = ExpectedImprovement(mean, var, best);
-    if (ei > best_ei) {
-      best_ei = ei;
+    if (ei[c] > best_ei) {
+      best_ei = ei[c];
       best_candidate = c;
     }
   }

@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace dbtune {
 
@@ -91,8 +92,14 @@ Configuration SmacOptimizer::Suggest() {
     return ExpectedImprovement(mean, var, best);
   };
 
+  // The candidate pool is scored in parallel (independent forest
+  // queries); the hill climb below stays sequential because each probe
+  // depends on the previous accept/reject decision and the shared RNG.
   std::vector<double> ei(candidates.size());
-  for (size_t c = 0; c < candidates.size(); ++c) ei[c] = ei_of(candidates[c]);
+  ParallelFor(GlobalPool(), 0, candidates.size(), /*grain=*/16,
+              [&](size_t begin, size_t end) {
+                for (size_t c = begin; c < end; ++c) ei[c] = ei_of(candidates[c]);
+              });
 
   // Hill-climb from the most promising candidates (SMAC's local search):
   // fine-grained neighbours around the top EI points.

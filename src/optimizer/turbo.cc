@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace dbtune {
 
@@ -94,11 +95,18 @@ Configuration TurboOptimizer::Suggest() {
     GaussianProcess gp(std::make_unique<Matern52Kernel>(), gp_options);
     if (!gp.Fit(local_x, local_y).ok()) continue;
 
-    // Thompson sampling over perturbation candidates within the box.
+    // Thompson sampling over perturbation candidates within the box. All
+    // RNG draws (perturbations and the posterior-sample normals) happen
+    // sequentially in candidate order first, so the stream matches the
+    // sequential implementation; the GP posterior queries — the actual
+    // cost — then run in parallel over the candidate batch.
     const double half = region.length / 2.0;
     const double perturb_prob =
         std::min(1.0, 20.0 / static_cast<double>(d));
-    for (size_t c = 0; c < turbo_options_.candidates_per_region; ++c) {
+    const size_t num_candidates = turbo_options_.candidates_per_region;
+    std::vector<std::vector<double>> units(num_candidates);
+    std::vector<double> normals(num_candidates);
+    for (size_t c = 0; c < num_candidates; ++c) {
       std::vector<double> u = region.center;
       bool changed = false;
       for (size_t j = 0; j < d; ++j) {
@@ -113,12 +121,22 @@ Configuration TurboOptimizer::Suggest() {
         u[j] = std::clamp(region.center[j] + rng_.Uniform(-half, half), 0.0,
                           1.0);
       }
-      double mean = 0.0, var = 0.0;
-      gp.PredictMeanVar(u, &mean, &var);
-      const double sample = mean + std::sqrt(var) * rng_.Gaussian();
-      if (sample > best_sample) {
-        best_sample = sample;
-        best_unit = u;
+      units[c] = std::move(u);
+      normals[c] = rng_.Gaussian();
+    }
+    std::vector<double> samples(num_candidates);
+    ParallelFor(GlobalPool(), 0, num_candidates, /*grain=*/16,
+                [&](size_t begin, size_t end) {
+                  for (size_t c = begin; c < end; ++c) {
+                    double mean = 0.0, var = 0.0;
+                    gp.PredictMeanVar(units[c], &mean, &var);
+                    samples[c] = mean + std::sqrt(var) * normals[c];
+                  }
+                });
+    for (size_t c = 0; c < num_candidates; ++c) {
+      if (samples[c] > best_sample) {
+        best_sample = samples[c];
+        best_unit = units[c];
         best_region = static_cast<int>(r);
       }
     }

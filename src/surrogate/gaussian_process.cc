@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace dbtune {
 
@@ -19,13 +20,18 @@ Result<double> GaussianProcess::FitWith(double lengthscale, double noise) {
   const size_t n = x_.size();
   kernel_->set_lengthscale(lengthscale);
   Matrix k(n, n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i; j < n; ++j) {
-      const double v = kernel_->Compute(x_[i], x_[j]);
-      k(i, j) = v;
-      k(j, i) = v;
+  // Row i fills k(i, i..n) and mirrors into k(i..n, i): each (i, j) pair
+  // is owned by exactly one i, so rows parallelize without overlap. The
+  // small grain compensates for the triangular (shrinking) row cost.
+  ParallelFor(GlobalPool(), 0, n, /*grain=*/8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t j = i; j < n; ++j) {
+        const double v = kernel_->Compute(x_[i], x_[j]);
+        k(i, j) = v;
+        k(j, i) = v;
+      }
     }
-  }
+  });
   k.AddDiagonal(noise + 1e-10);
   DBTUNE_RETURN_IF_ERROR(CholeskyFactorize(&k));
   // alpha = K^-1 y via two triangular solves.
@@ -103,7 +109,12 @@ void GaussianProcess::PredictMeanVar(const std::vector<double>& x,
   DBTUNE_CHECK_MSG(fitted_, "Predict before Fit");
   const size_t n = x_.size();
   std::vector<double> k_star(n);
-  for (size_t i = 0; i < n; ++i) k_star[i] = kernel_->Compute(x_[i], x);
+  ParallelFor(GlobalPool(), 0, n, /*grain=*/64,
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  k_star[i] = kernel_->Compute(x_[i], x);
+                }
+              });
 
   double mu = Dot(k_star, alpha_);
   // v = L^-1 k_star; var = k(x,x) - v'v.

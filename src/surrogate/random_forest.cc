@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace dbtune {
 
@@ -25,31 +26,52 @@ Status RandomForest::Fit(const FeatureMatrix& x, const std::vector<double>& y) {
   }
 
   const size_t n = x.size();
-  for (size_t t = 0; t < options_.num_trees; ++t) {
-    RegressionTreeOptions tree_options;
-    tree_options.max_depth = options_.max_depth;
-    tree_options.min_samples_split = options_.min_samples_split;
-    tree_options.min_samples_leaf = options_.min_samples_leaf;
-    tree_options.max_features = max_features;
-    tree_options.seed = rng_.engine()();
+  const size_t num_trees = options_.num_trees;
 
-    RegressionTree tree(tree_options);
+  // Draw every tree's seed and bootstrap index set from the forest RNG up
+  // front, in tree order. Tree fitting then runs data-parallel with no
+  // shared random state, so the forest is bit-identical at any pool size
+  // (and to the historical sequential implementation).
+  std::vector<RegressionTreeOptions> tree_options(num_trees);
+  std::vector<std::vector<size_t>> bootstrap_picks(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    tree_options[t].max_depth = options_.max_depth;
+    tree_options[t].min_samples_split = options_.min_samples_split;
+    tree_options[t].min_samples_leaf = options_.min_samples_leaf;
+    tree_options[t].max_features = max_features;
+    tree_options[t].seed = rng_.engine()();
     if (options_.bootstrap) {
-      FeatureMatrix bx;
-      std::vector<double> by;
-      bx.reserve(n);
-      by.reserve(n);
-      for (size_t i = 0; i < n; ++i) {
-        const size_t pick = rng_.Index(n);
-        bx.push_back(x[pick]);
-        by.push_back(y[pick]);
-      }
-      DBTUNE_RETURN_IF_ERROR(tree.Fit(bx, by));
-    } else {
-      DBTUNE_RETURN_IF_ERROR(tree.Fit(x, y));
+      bootstrap_picks[t].reserve(n);
+      for (size_t i = 0; i < n; ++i) bootstrap_picks[t].push_back(rng_.Index(n));
     }
-    trees_.push_back(std::move(tree));
   }
+
+  std::vector<RegressionTree> trees(num_trees);
+  std::vector<Status> statuses(num_trees, Status::OK());
+  ParallelFor(GlobalPool(), 0, num_trees, /*grain=*/1,
+              [&](size_t begin, size_t end) {
+                for (size_t t = begin; t < end; ++t) {
+                  RegressionTree tree(tree_options[t]);
+                  if (options_.bootstrap) {
+                    FeatureMatrix bx;
+                    std::vector<double> by;
+                    bx.reserve(n);
+                    by.reserve(n);
+                    for (size_t pick : bootstrap_picks[t]) {
+                      bx.push_back(x[pick]);
+                      by.push_back(y[pick]);
+                    }
+                    statuses[t] = tree.Fit(bx, by);
+                  } else {
+                    statuses[t] = tree.Fit(x, y);
+                  }
+                  trees[t] = std::move(tree);
+                }
+              });
+  for (size_t t = 0; t < num_trees; ++t) {
+    DBTUNE_RETURN_IF_ERROR(statuses[t]);
+  }
+  trees_ = std::move(trees);
   return Status::OK();
 }
 
@@ -62,11 +84,15 @@ double RandomForest::Predict(const std::vector<double>& x) const {
 void RandomForest::PredictMeanVar(const std::vector<double>& x, double* mean,
                                   double* variance) const {
   DBTUNE_CHECK_MSG(fitted(), "Predict before Fit");
-  std::vector<double> predictions;
-  predictions.reserve(trees_.size());
-  for (const RegressionTree& tree : trees_) {
-    predictions.push_back(tree.Predict(x));
-  }
+  std::vector<double> predictions(trees_.size());
+  // Indexed writes keep the Mean/Variance reduction order fixed, so the
+  // ensemble statistics do not depend on the pool size.
+  ParallelFor(GlobalPool(), 0, trees_.size(), /*grain=*/16,
+              [&](size_t begin, size_t end) {
+                for (size_t t = begin; t < end; ++t) {
+                  predictions[t] = trees_[t].Predict(x);
+                }
+              });
   *mean = Mean(predictions);
   *variance = Variance(predictions);
 }

@@ -11,7 +11,8 @@ namespace dbtune {
 
 /// Dense row-major matrix of doubles. Sized for the library's needs
 /// (Gaussian-process kernels and ridge normal equations with a few hundred
-/// rows), not for BLAS-level performance.
+/// rows): the product kernel is cache-blocked and multi-threaded for that
+/// regime, without reaching for a full BLAS.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -35,6 +36,16 @@ class Matrix {
 
   /// Raw storage, row-major.
   const std::vector<double>& data() const { return data_; }
+
+  /// Contiguous row `r` (no per-element bounds checks; hot loops only).
+  double* RowPtr(size_t r) {
+    DBTUNE_CHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* RowPtr(size_t r) const {
+    DBTUNE_CHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
 
   Matrix Transpose() const;
 

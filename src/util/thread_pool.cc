@@ -1,0 +1,152 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+namespace {
+
+// Set while a thread is executing pool work; nested ParallelFor calls on
+// such a thread run inline instead of re-entering the queue (waiting on
+// the queue from a worker can deadlock once every worker is waiting).
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t size) : size_(std::max<size_t>(1, size)) {
+  if (size_ == 1) return;  // sequential fallback: no threads at all
+  workers_.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  DBTUNE_CHECK(task != nullptr);
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorkerThread() const { return t_in_pool_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<size_t>(1, grain);
+  const size_t count = end - begin;
+  const bool sequential = pool == nullptr || pool->size() == 1 ||
+                          count <= grain || pool->InWorkerThread();
+  if (sequential) {
+    fn(begin, end);
+    return;
+  }
+
+  // Shared completion state for this region. Chunk boundaries depend only
+  // on (begin, end, grain), never on scheduling, so any per-index output
+  // written by `fn` is identical for every pool size.
+  struct Region {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t pending = 0;
+    std::exception_ptr first_error;
+  };
+  auto region = std::make_shared<Region>();
+  const size_t num_chunks = (count + grain - 1) / grain;
+  region->pending = num_chunks;
+
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const size_t chunk_begin = begin + chunk * grain;
+    const size_t chunk_end = std::min(end, chunk_begin + grain);
+    pool->Submit([region, chunk_begin, chunk_end, &fn] {
+      try {
+        fn(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(region->mu);
+        if (!region->first_error) {
+          region->first_error = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(region->mu);
+      if (--region->pending == 0) region->done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(region->mu);
+  region->done_cv.wait(lock, [&region] { return region->pending == 0; });
+  if (region->first_error) std::rethrow_exception(region->first_error);
+}
+
+size_t ExecutionContext::num_threads_locked() const {
+  if (const char* env = std::getenv("DBTUNE_NUM_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed >= 1) return static_cast<size_t>(std::min(parsed, 256L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ExecutionContext& ExecutionContext::Get() {
+  static ExecutionContext* context = new ExecutionContext();
+  return *context;
+}
+
+ThreadPool& ExecutionContext::pool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pool_) {
+    if (configured_ == 0) configured_ = num_threads_locked();
+    pool_ = std::make_unique<ThreadPool>(configured_);
+  }
+  return *pool_;
+}
+
+size_t ExecutionContext::num_threads() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (configured_ == 0) configured_ = num_threads_locked();
+  return configured_;
+}
+
+void ExecutionContext::SetNumThreads(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  configured_ = std::max<size_t>(1, n);
+  pool_.reset();  // rebuilt lazily at the new size
+}
+
+ThreadPool* GlobalPool() { return &ExecutionContext::Get().pool(); }
+
+}  // namespace dbtune

@@ -58,6 +58,47 @@ TEST(MatrixTest, Multiply) {
   EXPECT_DOUBLE_EQ(d(1, 1), 22.0);
 }
 
+TEST(MatrixTest, MultiplyBlockedMatchesReference) {
+  // Non-square shapes that straddle the 64-wide cache block, so every
+  // partial-block edge case of the i-k-j kernel is exercised.
+  const size_t n = 67, k = 130, m = 71;
+  Matrix a(n, k), b(k, m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      a(i, j) = std::sin(static_cast<double>(i * k + j));
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      b(i, j) = std::cos(static_cast<double>(i * m + j));
+    }
+  }
+  const Matrix c = a.Multiply(b);
+  ASSERT_EQ(c.rows(), n);
+  ASSERT_EQ(c.cols(), m);
+  // Reference: textbook dot-product form, spot-checked on a grid.
+  for (size_t i = 0; i < n; i += 13) {
+    for (size_t j = 0; j < m; j += 17) {
+      double expected = 0.0;
+      for (size_t t = 0; t < k; ++t) expected += a(i, t) * b(t, j);
+      EXPECT_NEAR(c(i, j), expected, 1e-9);
+    }
+  }
+}
+
+TEST(MatrixDeathTest, MultiplyShapeMismatchChecks) {
+  // Multiply is CHECK-guarded (programmer error, not recoverable input):
+  // a 2x3 times 2x2 must abort rather than read out of bounds.
+  Matrix a(2, 3, 1.0);
+  Matrix b(2, 2, 1.0);
+  EXPECT_DEATH(a.Multiply(b), "cols_ == other.rows_");
+}
+
+TEST(MatrixDeathTest, MultiplyVectorShapeMismatchChecks) {
+  Matrix a(2, 3, 1.0);
+  EXPECT_DEATH(a.MultiplyVector({1.0, 2.0}), "cols_ == v.size");
+}
+
 TEST(MatrixTest, MultiplyVector) {
   Matrix a(2, 3);
   a(0, 0) = 1;

@@ -1,0 +1,187 @@
+// The determinism contract of the parallel execution layer: every
+// parallelized component must produce bit-identical results at pool size
+// 1 and pool size N. These tests sweep the process-wide pool size and
+// compare full outputs with exact equality.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "knobs/knob.h"
+#include "optimizer/gp_bo.h"
+#include "optimizer/smac.h"
+#include "optimizer/turbo.h"
+#include "surrogate/gaussian_process.h"
+#include "surrogate/random_forest.h"
+#include "util/matrix.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace dbtune {
+namespace {
+
+// Restores the previous pool size even when an assertion fails.
+class PoolSizeGuard {
+ public:
+  explicit PoolSizeGuard(size_t n)
+      : original_(ExecutionContext::Get().num_threads()) {
+    ExecutionContext::Get().SetNumThreads(n);
+  }
+  ~PoolSizeGuard() { ExecutionContext::Get().SetNumThreads(original_); }
+
+ private:
+  size_t original_;
+};
+
+FeatureMatrix MakeInputs(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  FeatureMatrix x(n, std::vector<double>(d));
+  for (auto& row : x) {
+    for (double& v : row) v = rng.Uniform();
+  }
+  return x;
+}
+
+std::vector<double> MakeTargets(const FeatureMatrix& x) {
+  std::vector<double> y;
+  y.reserve(x.size());
+  for (const auto& row : x) {
+    double s = 0.0;
+    for (size_t j = 0; j < row.size(); ++j) {
+      s += std::sin(3.0 * row[j]) * static_cast<double>(j + 1);
+    }
+    y.push_back(s);
+  }
+  return y;
+}
+
+ConfigurationSpace MakeContinuousSpace(size_t d) {
+  std::vector<Knob> knobs;
+  for (size_t i = 0; i < d; ++i) {
+    knobs.push_back(
+        Knob::Continuous("x" + std::to_string(i), 0.0, 1.0, 0.5));
+  }
+  return ConfigurationSpace(std::move(knobs));
+}
+
+TEST(ParallelDeterminismTest, MatrixMultiplyMatchesAtAnyPoolSize) {
+  const size_t n = 160;  // past the parallel-dispatch threshold
+  Matrix a(n, n), b(n, n);
+  Rng rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.Uniform(-1.0, 1.0);
+      b(i, j) = rng.Uniform(-1.0, 1.0);
+    }
+  }
+  std::vector<double> sequential, parallel;
+  {
+    PoolSizeGuard guard(1);
+    sequential = a.Multiply(b).data();
+  }
+  {
+    PoolSizeGuard guard(4);
+    parallel = a.Multiply(b).data();
+  }
+  EXPECT_EQ(sequential, parallel);
+}
+
+TEST(ParallelDeterminismTest, GaussianProcessFitAndPredict) {
+  const FeatureMatrix x = MakeInputs(60, 5, 11);
+  const std::vector<double> y = MakeTargets(x);
+  const FeatureMatrix queries = MakeInputs(20, 5, 13);
+
+  auto run = [&](size_t pool_size) {
+    PoolSizeGuard guard(pool_size);
+    GaussianProcess gp(std::make_unique<Matern52Kernel>());
+    EXPECT_TRUE(gp.Fit(x, y).ok());
+    std::vector<double> out = {gp.log_marginal_likelihood()};
+    for (const auto& q : queries) {
+      double mean = 0.0, var = 0.0;
+      gp.PredictMeanVar(q, &mean, &var);
+      out.push_back(mean);
+      out.push_back(var);
+    }
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ParallelDeterminismTest, RandomForestFitAndPredict) {
+  const FeatureMatrix x = MakeInputs(120, 6, 17);
+  const std::vector<double> y = MakeTargets(x);
+  const FeatureMatrix queries = MakeInputs(30, 6, 19);
+
+  auto run = [&](size_t pool_size) {
+    PoolSizeGuard guard(pool_size);
+    RandomForestOptions options;
+    options.num_trees = 50;
+    options.seed = 29;
+    RandomForest forest(options);
+    EXPECT_TRUE(forest.Fit(x, y).ok());
+    std::vector<double> out = forest.SplitCountImportance();
+    const std::vector<double> impurity = forest.ImpurityImportance();
+    out.insert(out.end(), impurity.begin(), impurity.end());
+    for (const auto& q : queries) {
+      double mean = 0.0, var = 0.0;
+      forest.PredictMeanVar(q, &mean, &var);
+      out.push_back(mean);
+      out.push_back(var);
+    }
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+// Full optimizer loops: suggestions must be identical configuration by
+// configuration, which exercises parallel surrogate fits, posterior
+// queries, and acquisition scoring end to end.
+template <typename MakeOptimizer>
+void ExpectIdenticalTrajectories(MakeOptimizer make) {
+  auto run = [&](size_t pool_size) {
+    PoolSizeGuard guard(pool_size);
+    const ConfigurationSpace space = MakeContinuousSpace(4);
+    std::unique_ptr<Optimizer> optimizer = make(space);
+    std::vector<double> trace;
+    for (int i = 0; i < 20; ++i) {
+      const Configuration c = optimizer->Suggest();
+      double score = 0.0;
+      for (size_t j = 0; j < c.size(); ++j) {
+        score -= (c[j] - 0.6) * (c[j] - 0.6);
+      }
+      optimizer->Observe(c, score);
+      for (size_t j = 0; j < c.size(); ++j) trace.push_back(c[j]);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ParallelDeterminismTest, GpBoTrajectory) {
+  ExpectIdenticalTrajectories([](const ConfigurationSpace& space) {
+    OptimizerOptions options;
+    options.seed = 31;
+    return std::make_unique<VanillaBoOptimizer>(space, options);
+  });
+}
+
+TEST(ParallelDeterminismTest, SmacTrajectory) {
+  ExpectIdenticalTrajectories([](const ConfigurationSpace& space) {
+    OptimizerOptions options;
+    options.seed = 37;
+    return std::make_unique<SmacOptimizer>(space, options);
+  });
+}
+
+TEST(ParallelDeterminismTest, TurboTrajectory) {
+  ExpectIdenticalTrajectories([](const ConfigurationSpace& space) {
+    OptimizerOptions options;
+    options.seed = 41;
+    return std::make_unique<TurboOptimizer>(space, options);
+  });
+}
+
+}  // namespace
+}  // namespace dbtune
