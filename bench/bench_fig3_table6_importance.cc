@@ -61,8 +61,9 @@ int main() {
 
     for (size_t k : set_sizes) {
       for (OptimizerType optimizer : optimizers) {
-        std::vector<std::string> row = {WorkloadName(workload),
-                                        "top-" + std::to_string(k),
+        std::string set_label = "top-";
+        set_label += std::to_string(k);  // gcc-12 -Wrestrict false positive
+        std::vector<std::string> row = {WorkloadName(workload), set_label,
                                         OptimizerTypeName(optimizer)};
         std::vector<double> per_measurement;
         for (size_t m = 0; m < rankings.size(); ++m) {

@@ -40,7 +40,7 @@ struct CollectionOptions {
 
 /// Collects a dataset over the `knob_indices` subspace of `simulator`'s
 /// catalog (unselected knobs pinned at the effective default).
-Result<TuningDataset> CollectDataset(DbmsSimulator* simulator,
+[[nodiscard]] Result<TuningDataset> CollectDataset(DbmsSimulator* simulator,
                                      const std::vector<size_t>& knob_indices,
                                      const CollectionOptions& options);
 

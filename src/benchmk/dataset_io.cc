@@ -109,27 +109,24 @@ Result<TuningDataset> LoadTuningDataset(const std::string& path) {
       dataset.objective_kind = fields[1] == "latency"
                                    ? ObjectiveKind::kLatencyP95
                                    : ObjectiveKind::kThroughput;
-      Result<double> def = ParseDouble(fields[2]);
-      DBTUNE_RETURN_IF_ERROR(def.status());
-      dataset.default_objective = *def;
+      DBTUNE_ASSIGN_OR_RETURN(dataset.default_objective,
+                              ParseDouble(fields[2]));
       saw_meta = true;
     } else if (tag == "knob") {
       if (fields.size() != 8) return Status::InvalidArgument("bad knob line");
       const std::string& name = fields[1];
       const std::string& type = fields[2];
-      Result<double> min = ParseDouble(fields[3]);
-      Result<double> max = ParseDouble(fields[4]);
-      Result<double> def = ParseDouble(fields[5]);
-      DBTUNE_RETURN_IF_ERROR(min.status());
-      DBTUNE_RETURN_IF_ERROR(max.status());
-      DBTUNE_RETURN_IF_ERROR(def.status());
+      DBTUNE_ASSIGN_OR_RETURN(const double min_v, ParseDouble(fields[3]));
+      DBTUNE_ASSIGN_OR_RETURN(const double max_v, ParseDouble(fields[4]));
+      DBTUNE_ASSIGN_OR_RETURN(const double def_v, ParseDouble(fields[5]));
       const bool log_scale = fields[6] == "1";
       if (type == "continuous") {
-        knobs.push_back(Knob::Continuous(name, *min, *max, *def, log_scale));
+        knobs.push_back(
+            Knob::Continuous(name, min_v, max_v, def_v, log_scale));
       } else if (type == "integer") {
-        knobs.push_back(Knob::Integer(name, static_cast<int64_t>(*min),
-                                      static_cast<int64_t>(*max),
-                                      static_cast<int64_t>(*def), log_scale));
+        knobs.push_back(Knob::Integer(name, static_cast<int64_t>(min_v),
+                                      static_cast<int64_t>(max_v),
+                                      static_cast<int64_t>(def_v), log_scale));
       } else if (type == "categorical") {
         std::vector<std::string> categories;
         std::stringstream cats(fields[7]);
@@ -140,7 +137,7 @@ Result<TuningDataset> LoadTuningDataset(const std::string& path) {
                                          " needs >= 2 categories");
         }
         knobs.push_back(Knob::Categorical(name, std::move(categories),
-                                          static_cast<size_t>(*def)));
+                                          static_cast<size_t>(def_v)));
       } else {
         return Status::InvalidArgument("unknown knob type: " + type);
       }
@@ -153,9 +150,8 @@ Result<TuningDataset> LoadTuningDataset(const std::string& path) {
       }
       std::vector<double> values;
       for (size_t i = 1; i < fields.size(); ++i) {
-        Result<double> v = ParseDouble(fields[i]);
-        DBTUNE_RETURN_IF_ERROR(v.status());
-        values.push_back(*v);
+        DBTUNE_ASSIGN_OR_RETURN(const double v, ParseDouble(fields[i]));
+        values.push_back(v);
       }
       dataset.default_config = Configuration(std::move(values));
       saw_default = true;
@@ -166,15 +162,14 @@ Result<TuningDataset> LoadTuningDataset(const std::string& path) {
       if (fields.size() != knobs.size() + 2) {
         return Status::InvalidArgument("sample arity mismatch");
       }
-      Result<double> objective = ParseDouble(fields[1]);
-      DBTUNE_RETURN_IF_ERROR(objective.status());
+      DBTUNE_ASSIGN_OR_RETURN(const double objective,
+                              ParseDouble(fields[1]));
       std::vector<double> unit;
       for (size_t i = 2; i < fields.size(); ++i) {
-        Result<double> v = ParseDouble(fields[i]);
-        DBTUNE_RETURN_IF_ERROR(v.status());
-        unit.push_back(*v);
+        DBTUNE_ASSIGN_OR_RETURN(const double v, ParseDouble(fields[i]));
+        unit.push_back(v);
       }
-      dataset.objectives.push_back(*objective);
+      dataset.objectives.push_back(objective);
       dataset.unit_x.push_back(std::move(unit));
     } else {
       return Status::InvalidArgument("unknown line tag: " + tag);

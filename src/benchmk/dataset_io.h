@@ -18,12 +18,12 @@ namespace dbtune {
 ///   knob|<name>|<type>|<min>|<max>|<default>|<log>|<cat;cat;...>
 ///   default|<v0>|<v1>|...
 ///   sample|<objective>|<u0>|<u1>|...          (unit-encoded)
-Status SaveTuningDataset(const TuningDataset& dataset,
+[[nodiscard]] Status SaveTuningDataset(const TuningDataset& dataset,
                          const std::string& path);
 
 /// Loads a dataset written by `SaveTuningDataset`. Validates the header,
 /// knob domains, and row arity.
-Result<TuningDataset> LoadTuningDataset(const std::string& path);
+[[nodiscard]] Result<TuningDataset> LoadTuningDataset(const std::string& path);
 
 }  // namespace dbtune
 

@@ -22,8 +22,10 @@ Result<std::unique_ptr<SurrogateBenchmark>> SurrogateBenchmark::Build(
   if (dataset.unit_x.empty()) {
     return Status::InvalidArgument("empty dataset");
   }
+  // Private constructor keeps Build() the only entry point, so
+  // make_unique cannot reach it — the raw new is wrapped immediately.
   auto benchmark = std::unique_ptr<SurrogateBenchmark>(
-      new SurrogateBenchmark());
+      new SurrogateBenchmark());  // dbtune-lint: allow(naked-new)
   benchmark->space_ = dataset.space;
   benchmark->objective_kind_ = dataset.objective_kind;
   benchmark->forest_ = RandomForest(forest_options);

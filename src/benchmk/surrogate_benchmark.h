@@ -19,7 +19,7 @@ class SurrogateBenchmark {
  public:
   /// Trains the surrogate on `dataset` (which it copies the space and
   /// defaults from). Fails when the dataset is degenerate.
-  static Result<std::unique_ptr<SurrogateBenchmark>> Build(
+  [[nodiscard]] static Result<std::unique_ptr<SurrogateBenchmark>> Build(
       const TuningDataset& dataset, RandomForestOptions forest_options = {});
 
   /// The benchmark's configuration space.

@@ -33,15 +33,16 @@ Result<AdvisorReport> TuneDbms(DbmsSimulator* simulator,
   report.default_objective = full_env.default_objective();
 
   // --- Step 2: rank knobs and prune the space.
-  Result<ImportanceInput> input = MakeImportanceInput(
-      simulator->space(), configs, scores,
-      simulator->EffectiveDefault(), full_env.default_score());
-  DBTUNE_RETURN_IF_ERROR(input.status());
+  DBTUNE_ASSIGN_OR_RETURN(
+      const ImportanceInput input,
+      MakeImportanceInput(simulator->space(), configs, scores,
+                          simulator->EffectiveDefault(),
+                          full_env.default_score()));
   std::unique_ptr<ImportanceMeasure> measure =
       CreateImportanceMeasure(options.measurement, options.seed);
-  Result<std::vector<double>> importance = measure->Rank(*input);
-  DBTUNE_RETURN_IF_ERROR(importance.status());
-  report.selected_knobs = TopKnobs(*importance, options.tuning_knobs);
+  DBTUNE_ASSIGN_OR_RETURN(const std::vector<double> importance,
+                          measure->Rank(input));
+  report.selected_knobs = TopKnobs(importance, options.tuning_knobs);
   for (size_t knob : report.selected_knobs) {
     report.selected_knob_names.push_back(
         simulator->space().knob(knob).name());

@@ -44,7 +44,7 @@ struct AdvisorReport {
 /// observations, rank knobs (SHAP by default), prune the space, then
 /// optimize (SMAC by default), optionally accelerated by RGPE over
 /// `repository`. One call = the full Figure 2 workflow.
-Result<AdvisorReport> TuneDbms(DbmsSimulator* simulator,
+[[nodiscard]] Result<AdvisorReport> TuneDbms(DbmsSimulator* simulator,
                                const AdvisorOptions& options,
                                const ObservationRepository* repository =
                                    nullptr);

@@ -113,11 +113,11 @@ std::vector<double> DbmsSimulator::ComputeInternalMetrics(
   features.push_back(hardware_.ram_gb / 64.0);
 
   // Fixed random projection shared by every simulator instance.
-  static const std::vector<std::vector<double>>* projection = [] {
+  static const std::vector<std::vector<double>> projection = [] {
     Rng proj_rng(kMetricProjectionSeed);
-    auto* rows = new std::vector<std::vector<double>>(kNumInternalMetrics);
+    std::vector<std::vector<double>> rows(kNumInternalMetrics);
     const size_t kMaxFeatures = 32;
-    for (auto& row : *rows) {
+    for (auto& row : rows) {
       row.resize(kMaxFeatures);
       for (double& w : row) w = proj_rng.Gaussian(0.0, 0.8);
     }
@@ -127,7 +127,7 @@ std::vector<double> DbmsSimulator::ComputeInternalMetrics(
   std::vector<double> metrics(kNumInternalMetrics, 0.0);
   for (size_t m = 0; m < kNumInternalMetrics; ++m) {
     double acc = 0.0;
-    const std::vector<double>& row = (*projection)[m];
+    const std::vector<double>& row = projection[m];
     for (size_t f = 0; f < features.size() && f < row.size(); ++f) {
       acc += row[f] * features[f];
     }

@@ -42,7 +42,8 @@ class ImportanceMeasure {
   virtual ~ImportanceMeasure() = default;
 
   /// Per-knob importance; size equals the space dimension.
-  virtual Result<std::vector<double>> Rank(const ImportanceInput& input) = 0;
+  [[nodiscard]] virtual Result<std::vector<double>> Rank(
+      const ImportanceInput& input) = 0;
 
   virtual std::string name() const = 0;
 };
@@ -51,7 +52,7 @@ class ImportanceMeasure {
 std::vector<size_t> TopKnobs(const std::vector<double>& importance, size_t k);
 
 /// Builds an `ImportanceInput` from parallel configuration/score vectors.
-Result<ImportanceInput> MakeImportanceInput(
+[[nodiscard]] Result<ImportanceInput> MakeImportanceInput(
     const ConfigurationSpace& space, const std::vector<Configuration>& configs,
     const std::vector<double>& scores, const Configuration& default_config,
     double default_score);

@@ -41,7 +41,7 @@ struct IncrementalResult {
 /// a fresh optimizer warm-started from the previous phase's observations
 /// (values of knobs leaving the set are dropped; knobs entering start at
 /// their defaults).
-Result<IncrementalResult> RunIncrementalSession(
+[[nodiscard]] Result<IncrementalResult> RunIncrementalSession(
     DbmsSimulator* simulator, const std::vector<size_t>& ranked_knobs,
     const IncrementalOptions& options);
 

@@ -25,7 +25,7 @@ class ConfigurationSpace {
   const std::vector<Knob>& knobs() const { return knobs_; }
 
   /// Index of the knob named `name`; NotFound when absent.
-  Result<size_t> KnobIndex(const std::string& name) const;
+  [[nodiscard]] Result<size_t> KnobIndex(const std::string& name) const;
 
   /// The DBMS default configuration (every knob at its default).
   Configuration Default() const;
@@ -45,7 +45,7 @@ class ConfigurationSpace {
   Configuration Clip(const Configuration& config) const;
 
   /// OK when `config` has the right arity and every value is in-domain.
-  Status Validate(const Configuration& config) const;
+  [[nodiscard]] Status Validate(const Configuration& config) const;
 
   /// Indices of all categorical knobs.
   std::vector<size_t> CategoricalIndices() const;

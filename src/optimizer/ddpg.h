@@ -61,7 +61,7 @@ class DdpgOptimizer final : public Optimizer {
   };
   Weights ExportWeights() const;
   /// Loads pre-trained weights (architecture must match; fails otherwise).
-  Status ImportWeights(const Weights& weights);
+  [[nodiscard]] Status ImportWeights(const Weights& weights);
 
  private:
   struct Transition {

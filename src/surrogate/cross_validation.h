@@ -24,13 +24,13 @@ std::vector<size_t> KFoldAssignment(size_t num_samples, size_t k, Rng& rng);
 
 /// k-fold cross-validation of a model family on (x, y). Returns pooled
 /// out-of-fold RMSE and R² (the paper's Table 9 metrics).
-Result<RegressionQuality> CrossValidate(const RegressorFactory& factory,
+[[nodiscard]] Result<RegressionQuality> CrossValidate(const RegressorFactory& factory,
                                         const FeatureMatrix& x,
                                         const std::vector<double>& y, size_t k,
                                         Rng& rng);
 
 /// Fits on a train split and evaluates on a test split (no folding).
-Result<RegressionQuality> TrainTestEvaluate(Regressor* model,
+[[nodiscard]] Result<RegressionQuality> TrainTestEvaluate(Regressor* model,
                                             const FeatureMatrix& train_x,
                                             const std::vector<double>& train_y,
                                             const FeatureMatrix& test_x,

@@ -91,9 +91,7 @@ Status GaussianProcess::Fit(const FeatureMatrix& x,
     }
   }
   if (!any) return Status::Internal("GP fit failed for all hyper-parameters");
-  Result<double> final_lml = FitWith(best_ls, best_noise);
-  if (!final_lml.ok()) return final_lml.status();
-  lml_ = *final_lml;
+  DBTUNE_ASSIGN_OR_RETURN(lml_, FitWith(best_ls, best_noise));
   fitted_ = true;
   return Status::OK();
 }

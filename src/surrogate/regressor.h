@@ -21,7 +21,8 @@ class Regressor {
   virtual ~Regressor() = default;
 
   /// Trains on (x, y). Fails on empty or ragged input.
-  virtual Status Fit(const FeatureMatrix& x, const std::vector<double>& y) = 0;
+  [[nodiscard]] virtual Status Fit(const FeatureMatrix& x,
+                                   const std::vector<double>& y) = 0;
 
   /// Point prediction for one sample. Requires a successful `Fit`.
   virtual double Predict(const std::vector<double>& x) const = 0;
@@ -39,7 +40,7 @@ class Regressor {
 };
 
 /// Validates a training set: non-empty, consistent widths, matching y.
-Status ValidateTrainingData(const FeatureMatrix& x,
+[[nodiscard]] Status ValidateTrainingData(const FeatureMatrix& x,
                             const std::vector<double>& y);
 
 }  // namespace dbtune

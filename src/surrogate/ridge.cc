@@ -51,9 +51,7 @@ Status RidgeRegression::Fit(const FeatureMatrix& x,
   }
   gram.AddDiagonal(options_.alpha);
 
-  Result<std::vector<double>> solution = SolveSpd(gram, rhs);
-  if (!solution.ok()) return solution.status();
-  coef_ = std::move(solution.value());
+  DBTUNE_ASSIGN_OR_RETURN(coef_, SolveSpd(gram, rhs));
   fitted_ = true;
   return Status::OK();
 }

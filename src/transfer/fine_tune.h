@@ -26,14 +26,14 @@ struct PretrainOptions {
 ///
 /// `knob_indices` select the tuned knobs in the full catalog, shared by
 /// all workloads.
-Result<DdpgOptimizer::Weights> PretrainDdpgOnSources(
+[[nodiscard]] Result<DdpgOptimizer::Weights> PretrainDdpgOnSources(
     const std::vector<WorkloadId>& sources,
     const std::vector<size_t>& knob_indices, const PretrainOptions& options,
     ObservationRepository* repository);
 
 /// Builds a DDPG optimizer warm-started from pre-trained weights
 /// (CDBTune's fine-tuning transfer).
-Result<std::unique_ptr<DdpgOptimizer>> MakeFineTunedDdpg(
+[[nodiscard]] Result<std::unique_ptr<DdpgOptimizer>> MakeFineTunedDdpg(
     const ConfigurationSpace& space, OptimizerOptions options,
     const DdpgOptimizer::Weights& pretrained);
 

@@ -5,6 +5,49 @@
 
 namespace dbtune {
 
+ObservationRepository::ObservationRepository(
+    ObservationRepository&& other) noexcept {
+  MutexLock lock(&other.mu_);
+  tasks_ = std::move(other.tasks_);
+}
+
+ObservationRepository& ObservationRepository::operator=(
+    ObservationRepository&& other) noexcept {
+  if (this == &other) return *this;
+  std::vector<SourceTask> moved;
+  {
+    MutexLock lock(&other.mu_);
+    moved = std::move(other.tasks_);
+  }
+  MutexLock lock(&mu_);
+  tasks_ = std::move(moved);
+  return *this;
+}
+
+void ObservationRepository::AddTask(SourceTask task) {
+  MutexLock lock(&mu_);
+  tasks_.push_back(std::move(task));
+}
+
+size_t ObservationRepository::size() const {
+  MutexLock lock(&mu_);
+  return tasks_.size();
+}
+
+bool ObservationRepository::empty() const {
+  MutexLock lock(&mu_);
+  return tasks_.empty();
+}
+
+// Publish-then-read: every AddTask happens-before the transfer phase that
+// reads through this reference (the callers join their source sessions
+// first), so the unlocked access is race-free. The analysis cannot see
+// that phase boundary, hence the explicit opt-out.
+const std::vector<SourceTask>& ObservationRepository::tasks() const
+    DBTUNE_NO_THREAD_SAFETY_ANALYSIS {
+  return tasks_;
+}
+
 SourceTask ObservationRepository::FromHistory(
     std::string name, const ConfigurationSpace& space,
     const std::vector<Observation>& history) {

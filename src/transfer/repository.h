@@ -7,6 +7,8 @@
 #include "dbms/environment.h"
 #include "knobs/configuration_space.h"
 #include "surrogate/regressor.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dbtune {
 
@@ -23,12 +25,33 @@ struct SourceTask {
 
 /// Repository of past tuning tasks, the input to the knowledge-transfer
 /// frameworks.
+///
+/// Write path (AddTask) is thread-safe: source sessions may record their
+/// histories concurrently. The read path follows a publish-then-read phase
+/// discipline — transfer optimizers borrow the repository only after every
+/// writer finished, so `tasks()` hands out a direct reference without
+/// holding the lock (see the comment in repository.cc).
 class ObservationRepository {
  public:
-  void AddTask(SourceTask task) { tasks_.push_back(std::move(task)); }
-  const std::vector<SourceTask>& tasks() const { return tasks_; }
-  size_t size() const { return tasks_.size(); }
-  bool empty() const { return tasks_.empty(); }
+  ObservationRepository() = default;
+
+  /// Movable (locking the source) so builder-style code can return one by
+  /// value; not copyable — optimizers borrow it by pointer.
+  ObservationRepository(ObservationRepository&& other) noexcept;
+  ObservationRepository& operator=(ObservationRepository&& other) noexcept;
+  ObservationRepository(const ObservationRepository&) = delete;
+  ObservationRepository& operator=(const ObservationRepository&) = delete;
+
+  /// Appends one finished task's history. Safe to call concurrently.
+  void AddTask(SourceTask task);
+
+  /// Direct view of all recorded tasks. Callers must guarantee no
+  /// concurrent AddTask (the library's transfer phase starts only after
+  /// source collection completes).
+  const std::vector<SourceTask>& tasks() const;
+
+  size_t size() const;
+  bool empty() const;
 
   /// Builds a task record from a finished session's history. Failed
   /// observations keep their substituted scores; metric signatures are
@@ -38,7 +61,8 @@ class ObservationRepository {
                                 const std::vector<Observation>& history);
 
  private:
-  std::vector<SourceTask> tasks_;
+  mutable Mutex mu_;
+  std::vector<SourceTask> tasks_ DBTUNE_GUARDED_BY(mu_);
 };
 
 /// Per-task standardized scores (mean 0, stddev 1) — transfer frameworks

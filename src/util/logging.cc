@@ -1,12 +1,17 @@
 #include "util/logging.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace dbtune {
 
 namespace {
-LogLevel g_min_level = LogLevel::kWarning;
+// Worker threads log concurrently (thread_pool.cc), so the level gate is
+// an atomic; relaxed ordering suffices — the level is a filter, not a
+// synchronization point.
+std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,15 +28,27 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level = level; }
-LogLevel GetLogLevel() { return g_min_level; }
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
 
 namespace internal_logging {
 
 void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_min_level)) return;
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
-               msg.c_str());
+  if (static_cast<int>(level) <
+      static_cast<int>(g_min_level.load(std::memory_order_relaxed))) {
+    return;
+  }
+  // Preformat the whole line and hand it to stderr in one fwrite: stdio
+  // locks the stream per call, so concurrent worker-thread log lines can
+  // interleave between calls but never mid-line.
+  char buffer[1024];
+  const int n = std::snprintf(buffer, sizeof(buffer), "[%s %s:%d] %s\n",
+                              LevelName(level), file, line, msg.c_str());
+  if (n <= 0) return;
+  const size_t len = std::min(static_cast<size_t>(n), sizeof(buffer) - 1);
+  std::fwrite(buffer, 1, len, stderr);
 }
 
 void CheckFail(const char* file, int line, const char* expr,

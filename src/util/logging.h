@@ -36,7 +36,10 @@ class LogMessage {
 }  // namespace internal_logging
 
 /// Sets the minimum severity that is actually printed (default: kWarning,
-/// so library internals stay quiet in tests and benches).
+/// so library internals stay quiet in tests and benches). Thread-safe:
+/// the level is stored atomically because pool workers log concurrently,
+/// and `Emit` writes each line with a single fwrite so concurrent lines
+/// never interleave mid-line.
 void SetLogLevel(LogLevel level);
 
 /// Current minimum printed severity.

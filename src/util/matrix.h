@@ -67,7 +67,7 @@ class Matrix {
 /// In-place Cholesky factorization of a symmetric positive-definite matrix.
 /// On success `*a` holds the lower-triangular factor L (upper part zeroed).
 /// Fails with Internal status when the matrix is not positive definite.
-Status CholeskyFactorize(Matrix* a);
+[[nodiscard]] Status CholeskyFactorize(Matrix* a);
 
 /// Solves L * x = b for lower-triangular L (forward substitution).
 std::vector<double> SolveLowerTriangular(const Matrix& l,
@@ -79,7 +79,7 @@ std::vector<double> SolveUpperTriangularFromLower(const Matrix& l,
 
 /// Solves (A) x = b via Cholesky, where A is symmetric positive definite.
 /// Returns InvalidArgument on shape mismatch, Internal when not SPD.
-Result<std::vector<double>> SolveSpd(const Matrix& a,
+[[nodiscard]] Result<std::vector<double>> SolveSpd(const Matrix& a,
                                      const std::vector<double>& b);
 
 /// Dot product; requires equal sizes.

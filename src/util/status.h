@@ -5,6 +5,8 @@
 #include <utility>
 #include <variant>
 
+#include "util/logging.h"
+
 namespace dbtune {
 
 /// Error categories used across the library. The library does not use C++
@@ -24,7 +26,10 @@ const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Modeled after absl::Status: cheap to copy in
 /// the OK case, carries a code plus message otherwise.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status is a
+/// compile warning everywhere and a compile error under DBTUNE_WERROR=ON.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -66,9 +71,13 @@ class Status {
 };
 
 /// A value-or-error union: holds a `T` on success, a non-OK `Status`
-/// otherwise. Accessing `value()` on an error aborts the process.
+/// otherwise. Accessing `value()` on an error aborts the process with the
+/// held status's message (the library is exception-free; misuse of an
+/// errored Result is a programmer error, not a recoverable condition).
+///
+/// Like Status, Result is [[nodiscard]].
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value marks success.
   Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -82,10 +91,19 @@ class Result {
     return ok() ? Status::OK() : std::get<Status>(rep_);
   }
 
-  /// The contained value. Requires `ok()`.
-  const T& value() const& { return std::get<T>(rep_); }
-  T& value() & { return std::get<T>(rep_); }
-  T&& value() && { return std::move(std::get<T>(rep_)); }
+  /// The contained value. Aborts (DBTUNE_CHECK) when holding an error.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(std::get<T>(rep_));
+  }
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
@@ -93,6 +111,11 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
+  void CheckOk() const {
+    DBTUNE_CHECK_MSG(ok(), "Result::value() on error: " +
+                               std::get<Status>(rep_).ToString());
+  }
+
   std::variant<T, Status> rep_;
 };
 
@@ -103,6 +126,22 @@ class Result {
     ::dbtune::Status _dbtune_status = (expr);         \
     if (!_dbtune_status.ok()) return _dbtune_status;  \
   } while (false)
+
+#define DBTUNE_STATUS_CONCAT_IMPL_(x, y) x##y
+#define DBTUNE_STATUS_CONCAT_(x, y) DBTUNE_STATUS_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+/// `lhs` may declare a new variable or assign an existing one:
+///   DBTUNE_ASSIGN_OR_RETURN(auto solution, SolveSpd(gram, rhs));
+#define DBTUNE_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  DBTUNE_ASSIGN_OR_RETURN_IMPL_(                                             \
+      DBTUNE_STATUS_CONCAT_(_dbtune_result_, __LINE__), lhs, rexpr)
+
+#define DBTUNE_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).value()
 
 }  // namespace dbtune
 

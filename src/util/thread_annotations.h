@@ -1,0 +1,58 @@
+#ifndef DBTUNE_UTIL_THREAD_ANNOTATIONS_H_
+#define DBTUNE_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attributes (-Wthread-safety), exposed as
+/// DBTUNE_* macros that compile to nothing on other compilers. Annotate
+/// shared state with DBTUNE_GUARDED_BY(mu_) and lock-discipline contracts
+/// with DBTUNE_REQUIRES / DBTUNE_ACQUIRE / DBTUNE_RELEASE so the compiler
+/// proves lock coverage statically instead of TSan finding races at run
+/// time. See util/mutex.h for the annotated Mutex these attach to.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DBTUNE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DBTUNE_THREAD_ANNOTATION_(x)  // no-op on non-clang compilers
+#endif
+
+/// Documents that the member it is attached to is protected by the given
+/// capability (mutex); reads and writes then require holding it.
+#define DBTUNE_GUARDED_BY(x) DBTUNE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Documents that the *pointee* of the annotated pointer is protected.
+#define DBTUNE_PT_GUARDED_BY(x) DBTUNE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called while holding the given capability.
+#define DBTUNE_REQUIRES(...) \
+  DBTUNE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function acquires / releases the capability (mutex lock/unlock).
+#define DBTUNE_ACQUIRE(...) \
+  DBTUNE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DBTUNE_RELEASE(...) \
+  DBTUNE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the capability (guards
+/// against self-deadlock on non-reentrant mutexes).
+#define DBTUNE_EXCLUDES(...) \
+  DBTUNE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Marks a type as a lockable capability / a scoped lock-holder.
+#define DBTUNE_CAPABILITY(x) DBTUNE_THREAD_ANNOTATION_(capability(x))
+#define DBTUNE_SCOPED_CAPABILITY DBTUNE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Return-value annotation: the function returns a reference to the
+/// capability that guards the returned data.
+#define DBTUNE_RETURN_CAPABILITY(x) \
+  DBTUNE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Assertion that the capability is held (runtime-checked elsewhere).
+#define DBTUNE_ASSERT_CAPABILITY(x) \
+  DBTUNE_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch for functions whose locking pattern the analysis cannot
+/// follow (e.g. publish-then-read phase discipline). Use sparingly and
+/// document why at the call site.
+#define DBTUNE_NO_THREAD_SAFETY_ANALYSIS \
+  DBTUNE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // DBTUNE_UTIL_THREAD_ANNOTATIONS_H_

@@ -28,10 +28,10 @@ ThreadPool::ThreadPool(size_t size) : size_(std::max<size_t>(1, size)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -42,10 +42,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::InWorkerThread() const { return t_in_pool_worker; }
@@ -55,8 +55,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -81,35 +81,41 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
   // on (begin, end, grain), never on scheduling, so any per-index output
   // written by `fn` is identical for every pool size.
   struct Region {
-    std::mutex mu;
-    std::condition_variable done_cv;
-    size_t pending = 0;
-    std::exception_ptr first_error;
+    Mutex mu;
+    CondVar done_cv;
+    size_t pending DBTUNE_GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error DBTUNE_GUARDED_BY(mu);
   };
   auto region = std::make_shared<Region>();
   const size_t num_chunks = (count + grain - 1) / grain;
-  region->pending = num_chunks;
+  {
+    MutexLock lock(&region->mu);
+    region->pending = num_chunks;
+  }
 
   for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
     const size_t chunk_begin = begin + chunk * grain;
     const size_t chunk_end = std::min(end, chunk_begin + grain);
     pool->Submit([region, chunk_begin, chunk_end, &fn] {
+      std::exception_ptr error;
       try {
         fn(chunk_begin, chunk_end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(region->mu);
-        if (!region->first_error) {
-          region->first_error = std::current_exception();
-        }
+        error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(region->mu);
-      if (--region->pending == 0) region->done_cv.notify_all();
+      MutexLock lock(&region->mu);
+      if (error && !region->first_error) region->first_error = error;
+      if (--region->pending == 0) region->done_cv.NotifyAll();
     });
   }
 
-  std::unique_lock<std::mutex> lock(region->mu);
-  region->done_cv.wait(lock, [&region] { return region->pending == 0; });
-  if (region->first_error) std::rethrow_exception(region->first_error);
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(&region->mu);
+    while (region->pending != 0) region->done_cv.Wait(&region->mu);
+    first_error = region->first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 size_t ExecutionContext::num_threads_locked() const {
@@ -122,12 +128,14 @@ size_t ExecutionContext::num_threads_locked() const {
 }
 
 ExecutionContext& ExecutionContext::Get() {
-  static ExecutionContext* context = new ExecutionContext();
+  // Intentionally leaked so worker threads may outlive static destructors.
+  static ExecutionContext* context =
+      new ExecutionContext();  // dbtune-lint: allow(naked-new)
   return *context;
 }
 
 ThreadPool& ExecutionContext::pool() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!pool_) {
     if (configured_ == 0) configured_ = num_threads_locked();
     pool_ = std::make_unique<ThreadPool>(configured_);
@@ -136,13 +144,13 @@ ThreadPool& ExecutionContext::pool() {
 }
 
 size_t ExecutionContext::num_threads() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (configured_ == 0) configured_ = num_threads_locked();
   return configured_;
 }
 
 void ExecutionContext::SetNumThreads(size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   configured_ = std::max<size_t>(1, n);
   pool_.reset();  // rebuilt lazily at the new size
 }

@@ -1,14 +1,15 @@
 #ifndef DBTUNE_UTIL_THREAD_POOL_H_
 #define DBTUNE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dbtune {
 
@@ -46,10 +47,10 @@ class ThreadPool {
 
   size_t size_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ DBTUNE_GUARDED_BY(mu_);
+  bool shutdown_ DBTUNE_GUARDED_BY(mu_) = false;
 };
 
 /// Splits [begin, end) into chunks of at most `grain` indices and runs
@@ -94,11 +95,12 @@ class ExecutionContext {
 
   /// Resolves the default size from `DBTUNE_NUM_THREADS`, then hardware
   /// concurrency. Caller must hold `mu_`.
-  size_t num_threads_locked() const;
+  size_t num_threads_locked() const DBTUNE_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::unique_ptr<ThreadPool> pool_;
-  size_t configured_ = 0;  // 0 = resolve from env/hardware on first use
+  Mutex mu_;
+  std::unique_ptr<ThreadPool> pool_ DBTUNE_GUARDED_BY(mu_);
+  // 0 = resolve from env/hardware on first use
+  size_t configured_ DBTUNE_GUARDED_BY(mu_) = 0;
 };
 
 /// Shorthand for `ExecutionContext::Get().pool()`.

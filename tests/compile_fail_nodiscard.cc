@@ -1,0 +1,21 @@
+// Negative compile test: Status and Result<T> are [[nodiscard]], so
+// silently dropping either return value must NOT compile. The ctest
+// `nodiscard_compile_fail` runs the compiler with -fsyntax-only
+// -Werror=unused-result over this file and asserts failure (WILL_FAIL),
+// proving the enforcement the DBTUNE_WERROR=ON build relies on.
+
+#include "util/status.h"
+
+namespace {
+
+dbtune::Status MightFail() { return dbtune::Status::Internal("boom"); }
+
+dbtune::Result<int> MightProduce() { return 7; }
+
+}  // namespace
+
+int main() {
+  MightFail();     // error: ignoring [[nodiscard]] Status
+  MightProduce();  // error: ignoring [[nodiscard]] Result<int>
+  return 0;
+}

@@ -26,8 +26,9 @@ ConfigurationSpace MakeSyntheticSpace() {
   knobs.push_back(Knob::Continuous("risky", 0.0, 1.0, 0.5));
   knobs.push_back(Knob::Continuous("improvable_weak", 0.0, 1.0, 0.0));
   for (int i = 3; i < 8; ++i) {
-    knobs.push_back(
-        Knob::Continuous("noise_" + std::to_string(i), 0.0, 1.0, 0.5));
+    std::string name = "noise_";
+    name += std::to_string(i);  // avoids gcc-12 -Wrestrict false positive
+    knobs.push_back(Knob::Continuous(name, 0.0, 1.0, 0.5));
   }
   return ConfigurationSpace(std::move(knobs));
 }

@@ -1,0 +1,138 @@
+// Exercises every dbtune-lint rule against the fixture files under
+// tools/lint_fixtures/ (each rule firing, each allow() suppression) and
+// self-checks that the shipped src/ tree lints clean. Paths come from
+// compile definitions set in tests/CMakeLists.txt.
+
+#include "dbtune_lint_lib.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using dbtune_lint::Finding;
+using dbtune_lint::LintFile;
+using dbtune_lint::LintSource;
+using dbtune_lint::LintTree;
+
+std::string FixturePath(const std::string& name) {
+  return std::string(DBTUNE_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<std::string> RulesOf(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  const std::vector<std::string> rules = RulesOf(findings);
+  return static_cast<int>(std::count(rules.begin(), rules.end(), rule));
+}
+
+TEST(LintTest, RandomSeedRuleFires) {
+  const auto findings = LintFile(FixturePath("bad_random.cc"), "bad_random.cc");
+  // std::rand, std::srand, time(nullptr), std::random_device.
+  EXPECT_EQ(CountRule(findings, "random-seed"), 4);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "random-seed") << dbtune_lint::FormatFinding(f);
+  }
+}
+
+TEST(LintTest, RandomSeedRuleSkipsUtilRandom) {
+  // The same content under src/util/random is the one sanctioned home of
+  // raw randomness primitives.
+  const auto findings =
+      LintFile(FixturePath("bad_random.cc"), "util/random.cc");
+  EXPECT_EQ(CountRule(findings, "random-seed"), 0);
+}
+
+TEST(LintTest, NakedNewRuleFiresButNotOnDeletedFunctions) {
+  const auto findings = LintFile(FixturePath("bad_new.cc"), "bad_new.cc");
+  EXPECT_EQ(CountRule(findings, "naked-new"), 2);  // one new, one delete
+}
+
+TEST(LintTest, UsingNamespaceStdRuleFires) {
+  const auto findings =
+      LintFile(FixturePath("bad_namespace.cc"), "bad_namespace.cc");
+  EXPECT_EQ(CountRule(findings, "using-namespace-std"), 1);
+}
+
+TEST(LintTest, IncludeGuardRuleFires) {
+  const auto findings = LintFile(FixturePath("bad_guard.h"), "bad_guard.h");
+  ASSERT_EQ(CountRule(findings, "include-guard"), 1);
+  EXPECT_NE(findings[0].message.find("DBTUNE_BAD_GUARD_H_"),
+            std::string::npos);
+}
+
+TEST(LintTest, IncludeGuardUsesRelativePath) {
+  const std::string content =
+      "#ifndef DBTUNE_UTIL_STATUS_H_\n#define DBTUNE_UTIL_STATUS_H_\n"
+      "#endif\n";
+  EXPECT_TRUE(LintSource("x.h", "util/status.h", content).empty());
+  // Same content under another path must demand that path's guard.
+  EXPECT_EQ(LintSource("x.h", "core/advisor.h", content).size(), 1u);
+}
+
+TEST(LintTest, IostreamRuleFiresOutsideLogging) {
+  const auto findings =
+      LintFile(FixturePath("bad_iostream.cc"), "bad_iostream.cc");
+  EXPECT_EQ(CountRule(findings, "iostream"), 1);
+}
+
+TEST(LintTest, IostreamAllowedInUtilLogging) {
+  const auto findings =
+      LintFile(FixturePath("bad_iostream.cc"), "util/logging.cc");
+  EXPECT_EQ(CountRule(findings, "iostream"), 0);
+}
+
+TEST(LintTest, AllowEscapeHatchSuppressesEveryRule) {
+  EXPECT_TRUE(LintFile(FixturePath("allowed.cc"), "allowed.cc").empty());
+  EXPECT_TRUE(
+      LintFile(FixturePath("allowed_guard.h"), "allowed_guard.h").empty());
+}
+
+TEST(LintTest, AllowIsPerRuleNotBlanket) {
+  // An allow() for one rule must not mask a different rule on that line.
+  const std::string content =
+      "int* p = new int(std::rand());  // dbtune-lint: allow(naked-new)\n";
+  const auto findings = LintSource("x.cc", "x.cc", content);
+  EXPECT_EQ(CountRule(findings, "naked-new"), 0);
+  EXPECT_EQ(CountRule(findings, "random-seed"), 1);
+}
+
+TEST(LintTest, CommentsAndStringsAreNotScanned) {
+  EXPECT_TRUE(LintFile(FixturePath("clean.h"), "clean.h").empty());
+  const std::string content =
+      "// a new idea about delete and rand()\n"
+      "/* using namespace std inside a block comment\n"
+      "   spanning lines with new */\n"
+      "const char* kText = \"new delete time( rand()\";\n";
+  EXPECT_TRUE(LintSource("x.cc", "x.cc", content).empty());
+}
+
+TEST(LintTest, FixtureTreeFindsAllViolations) {
+  const auto findings = LintTree(DBTUNE_LINT_FIXTURE_DIR);
+  EXPECT_EQ(CountRule(findings, "random-seed"), 4);
+  EXPECT_EQ(CountRule(findings, "naked-new"), 2);
+  EXPECT_EQ(CountRule(findings, "using-namespace-std"), 1);
+  EXPECT_EQ(CountRule(findings, "include-guard"), 1);
+  EXPECT_EQ(CountRule(findings, "iostream"), 1);
+}
+
+// The shipped library tree must lint clean — the same invariant the
+// `lint_src` ctest enforces via the CLI, checked here through the API so
+// a failure prints the precise findings.
+TEST(LintTest, ShippedSourceTreeIsClean) {
+  const auto findings = LintTree(DBTUNE_LINT_SRC_DIR);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << dbtune_lint::FormatFinding(f);
+  }
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace

@@ -17,8 +17,9 @@ namespace {
 ConfigurationSpace MakeContinuousSpace(size_t d) {
   std::vector<Knob> knobs;
   for (size_t i = 0; i < d; ++i) {
-    knobs.push_back(
-        Knob::Continuous("x" + std::to_string(i), 0.0, 1.0, 0.5));
+    std::string name = "x";
+    name += std::to_string(i);  // avoids gcc-12 -Wrestrict false positive
+    knobs.push_back(Knob::Continuous(name, 0.0, 1.0, 0.5));
   }
   return ConfigurationSpace(std::move(knobs));
 }

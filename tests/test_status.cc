@@ -66,10 +66,81 @@ Status FailThenPropagate() {
   return Status::OK();
 }
 
+Status SucceedThrough() {
+  DBTUNE_RETURN_IF_ERROR(Status::OK());
+  return Status::Internal("reached");
+}
+
 TEST(StatusTest, ReturnIfErrorPropagates) {
   Status s = FailThenPropagate();
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOnOk) {
+  EXPECT_EQ(SucceedThrough().message(), "reached");
+}
+
+Result<int> ProduceOrFail(bool fail) {
+  if (fail) return Status::NotFound("no value");
+  return 21;
+}
+
+Result<int> DoubleOrPropagate(bool fail) {
+  DBTUNE_ASSIGN_OR_RETURN(const int v, ProduceOrFail(fail));
+  return v * 2;
+}
+
+TEST(StatusTest, AssignOrReturnAssignsOnSuccess) {
+  Result<int> r = DoubleOrPropagate(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(StatusTest, AssignOrReturnPropagatesError) {
+  Result<int> r = DoubleOrPropagate(true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "no value");
+}
+
+Status AssignToExisting(int* out) {
+  DBTUNE_ASSIGN_OR_RETURN(*out, ProduceOrFail(false));
+  return Status::OK();
+}
+
+TEST(StatusTest, AssignOrReturnAssignsExistingLvalue) {
+  int out = 0;
+  Status s = AssignToExisting(&out);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(out, 21);
+}
+
+Result<std::string> MoveOnlyPath(bool fail) {
+  DBTUNE_ASSIGN_OR_RETURN(std::string s, [&]() -> Result<std::string> {
+    if (fail) return Status::Internal("gone");
+    return std::string("payload");
+  }());
+  return s + "!";
+}
+
+TEST(StatusTest, AssignOrReturnMovesValueOut) {
+  Result<std::string> r = MoveOnlyPath(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "payload!");
+  EXPECT_FALSE(MoveOnlyPath(true).ok());
+}
+
+// The header promises value()-on-error aborts the process (the library
+// is exception-free) and includes the held status's message.
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatusMessage) {
+  Result<int> r(Status::NotFound("missing-thing"));
+  EXPECT_DEATH({ const int v = r.value(); (void)v; }, "missing-thing");
+}
+
+TEST(ResultDeathTest, DereferenceOnErrorAborts) {
+  Result<int> r(Status::Internal("kaboom"));
+  EXPECT_DEATH({ const int v = *r; (void)v; }, "kaboom");
 }
 
 }  // namespace

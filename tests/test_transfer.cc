@@ -1,4 +1,5 @@
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -41,8 +42,9 @@ ObservationRepository MakeRepository(const ConfigurationSpace& space,
 ConfigurationSpace MakeSpace() {
   std::vector<Knob> knobs;
   for (int i = 0; i < 4; ++i) {
-    knobs.push_back(
-        Knob::Continuous("x" + std::to_string(i), 0.0, 1.0, 0.5));
+    std::string name = "x";
+    name += std::to_string(i);  // avoids gcc-12 -Wrestrict false positive
+    knobs.push_back(Knob::Continuous(name, 0.0, 1.0, 0.5));
   }
   return ConfigurationSpace(std::move(knobs));
 }

@@ -1,0 +1,37 @@
+// dbtune-lint — repo-invariant linter for the dbtune source tree.
+//
+// Usage: dbtune_lint <root-dir> [<root-dir>...]
+//
+// Walks every .h/.cc under each root and enforces the rules documented
+// in dbtune_lint_lib.h (deterministic seeding, no naked new/delete, no
+// `using namespace std`, DBTUNE_<PATH>_H_ include guards, no <iostream>
+// outside util/logging). Exits non-zero when any violation is found, so
+// it doubles as the `lint`-labeled ctest. Suppress one line with
+// `// dbtune-lint: allow(<rule>)`.
+
+#include <cstdio>
+
+#include "dbtune_lint_lib.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <root-dir> [<root-dir>...]\n", argv[0]);
+    return 2;
+  }
+  int total = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::vector<dbtune_lint::Finding> findings =
+        dbtune_lint::LintTree(argv[i]);
+    for (const dbtune_lint::Finding& finding : findings) {
+      std::fprintf(stderr, "%s\n",
+                   dbtune_lint::FormatFinding(finding).c_str());
+    }
+    total += static_cast<int>(findings.size());
+  }
+  if (total > 0) {
+    std::fprintf(stderr, "dbtune-lint: %d violation(s)\n", total);
+    return 1;
+  }
+  std::printf("dbtune-lint: clean\n");
+  return 0;
+}

@@ -1,0 +1,321 @@
+#include "dbtune_lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace dbtune_lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Collects the rules suppressed on this line via
+/// `dbtune-lint: allow(<rule>)` (may appear multiple times per line).
+std::set<std::string> ParseAllows(const std::string& raw_line) {
+  std::set<std::string> allows;
+  const std::string kTag = "dbtune-lint: allow(";
+  size_t pos = 0;
+  while ((pos = raw_line.find(kTag, pos)) != std::string::npos) {
+    const size_t open = pos + kTag.size();
+    const size_t close = raw_line.find(')', open);
+    if (close == std::string::npos) break;
+    allows.insert(raw_line.substr(open, close - open));
+    pos = close + 1;
+  }
+  return allows;
+}
+
+/// Replaces comment and string/char-literal contents with spaces so the
+/// rule scans never match inside them. `in_block_comment` carries /* */
+/// state across lines.
+std::string StripLine(const std::string& raw, bool* in_block_comment) {
+  std::string out(raw.size(), ' ');
+  size_t i = 0;
+  while (i < raw.size()) {
+    if (*in_block_comment) {
+      if (raw.compare(i, 2, "*/") == 0) {
+        *in_block_comment = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    if (raw.compare(i, 2, "//") == 0) break;  // rest of line is comment
+    if (raw.compare(i, 2, "/*") == 0) {
+      *in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (raw[i] == '\'' && i > 0 && IsIdentChar(raw[i - 1])) {
+      out[i] = raw[i];  // digit separator (1'000'000), not a char literal
+      ++i;
+      continue;
+    }
+    if (raw[i] == '"' || raw[i] == '\'') {
+      const char quote = raw[i];
+      out[i] = quote;
+      ++i;
+      while (i < raw.size()) {
+        if (raw[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (raw[i] == quote) {
+          out[i] = quote;
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    out[i] = raw[i];
+    ++i;
+  }
+  return out;
+}
+
+/// Next non-space character at or after `pos`, or '\0'.
+char NextNonSpace(const std::string& s, size_t pos) {
+  while (pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[pos])) != 0) {
+    ++pos;
+  }
+  return pos < s.size() ? s[pos] : '\0';
+}
+
+/// Last non-space character strictly before `pos`, or '\0'.
+char PrevNonSpace(const std::string& s, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(s[pos])) == 0) return s[pos];
+  }
+  return '\0';
+}
+
+std::string ExpectedGuard(const std::string& relpath) {
+  std::string guard = "DBTUNE_";
+  for (char c : relpath) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c))));
+    } else {
+      guard.push_back('_');
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+/// First identifier token after `directive` on the stripped line
+/// ("#ifndef X" -> "X"), or "".
+std::string DirectiveArg(const std::string& stripped,
+                         const std::string& directive) {
+  size_t pos = stripped.find(directive);
+  if (pos == std::string::npos) return "";
+  pos += directive.size();
+  while (pos < stripped.size() &&
+         std::isspace(static_cast<unsigned char>(stripped[pos])) != 0) {
+    ++pos;
+  }
+  size_t end = pos;
+  while (end < stripped.size() && IsIdentChar(stripped[end])) ++end;
+  return stripped.substr(pos, end - pos);
+}
+
+struct LineContext {
+  const std::string* display_path;
+  int line_number;
+  const std::set<std::string>* allows;
+  std::vector<Finding>* findings;
+};
+
+void Report(const LineContext& ctx, const std::string& rule,
+            const std::string& message) {
+  if (ctx.allows->count(rule) != 0) return;
+  ctx.findings->push_back(
+      Finding{*ctx.display_path, ctx.line_number, rule, message});
+}
+
+/// Scans one stripped line for identifier-token rules (random-seed,
+/// naked-new, using-namespace-std).
+void ScanTokens(const LineContext& ctx, const std::string& stripped,
+                bool random_rules_apply) {
+  size_t i = 0;
+  std::vector<std::string> idents;  // in order, for the using-namespace scan
+  while (i < stripped.size()) {
+    if (!IsIdentChar(stripped[i])) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    while (i < stripped.size() && IsIdentChar(stripped[i])) ++i;
+    // A token starting with a digit is a numeric literal, not an identifier.
+    if (std::isdigit(static_cast<unsigned char>(stripped[start])) != 0) {
+      continue;
+    }
+    const std::string ident = stripped.substr(start, i - start);
+    idents.push_back(ident);
+
+    if (random_rules_apply) {
+      if ((ident == "rand" || ident == "srand" || ident == "time") &&
+          NextNonSpace(stripped, i) == '(') {
+        Report(ctx, "random-seed",
+               "call to " + ident +
+                   "() — all randomness must flow through the seeded "
+                   "util/random Rng for reproducibility");
+      } else if (ident == "random_device") {
+        Report(ctx, "random-seed",
+               "std::random_device is non-deterministic — use the seeded "
+               "util/random Rng");
+      }
+    }
+
+    if (ident == "new") {
+      Report(ctx, "naked-new",
+             "naked new — use std::make_unique/std::make_shared or a "
+             "container");
+    }
+    if (ident == "delete" && PrevNonSpace(stripped, start) != '=') {
+      Report(ctx, "naked-new",
+             "naked delete — owning pointers must be smart pointers");
+    }
+  }
+
+  for (size_t k = 0; idents.size() >= 3 && k <= idents.size() - 3; ++k) {
+    if (idents[k] == "using" && idents[k + 1] == "namespace" &&
+        idents[k + 2] == "std") {
+      Report(ctx, "using-namespace-std",
+             "`using namespace std` pollutes every including scope");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> LintSource(const std::string& display_path,
+                                const std::string& relpath,
+                                const std::string& content) {
+  std::vector<Finding> findings;
+  const bool is_header =
+      relpath.size() > 2 && relpath.compare(relpath.size() - 2, 2, ".h") == 0;
+  const bool random_rules_apply = !StartsWith(relpath, "util/random");
+  const bool iostream_allowed = StartsWith(relpath, "util/logging");
+
+  std::istringstream stream(content);
+  std::string raw;
+  bool in_block_comment = false;
+  int line_number = 0;
+
+  // Include-guard state: the first #ifndef/#define pair must spell the
+  // path-derived guard name.
+  const std::string expected_guard = ExpectedGuard(relpath);
+  bool saw_ifndef = false;
+  bool guard_checked = false;
+  std::set<std::string> ifndef_allows;
+  int ifndef_line = 0;
+  std::string ifndef_token;
+
+  while (std::getline(stream, raw)) {
+    ++line_number;
+    const std::set<std::string> allows = ParseAllows(raw);
+    const std::string stripped = StripLine(raw, &in_block_comment);
+    const LineContext ctx{&display_path, line_number, &allows, &findings};
+
+    const std::string trimmed = [&stripped] {
+      size_t b = stripped.find_first_not_of(" \t");
+      return b == std::string::npos ? std::string() : stripped.substr(b);
+    }();
+
+    if (StartsWith(trimmed, "#")) {
+      if (trimmed.find("<iostream>") != std::string::npos &&
+          !iostream_allowed) {
+        Report(ctx, "iostream",
+               "<iostream> drags static iostream initializers into library "
+               "code — use util/logging instead");
+      }
+      if (is_header && !saw_ifndef && StartsWith(trimmed, "#ifndef")) {
+        saw_ifndef = true;
+        ifndef_token = DirectiveArg(trimmed, "#ifndef");
+        ifndef_line = line_number;
+        ifndef_allows = allows;
+      } else if (is_header && saw_ifndef && !guard_checked &&
+                 StartsWith(trimmed, "#define")) {
+        guard_checked = true;
+        const std::string define_token = DirectiveArg(trimmed, "#define");
+        if ((ifndef_token != expected_guard ||
+             define_token != expected_guard) &&
+            ifndef_allows.count("include-guard") == 0 &&
+            allows.count("include-guard") == 0) {
+          findings.push_back(Finding{
+              display_path, ifndef_line, "include-guard",
+              "include guard must be " + expected_guard + " (found #ifndef " +
+                  ifndef_token + " / #define " + define_token + ")"});
+        }
+      }
+      continue;  // no token rules on preprocessor lines
+    }
+
+    ScanTokens(ctx, stripped, random_rules_apply);
+  }
+
+  if (is_header && !guard_checked) {
+    // Missing or malformed guard pair entirely.
+    findings.push_back(Finding{display_path, saw_ifndef ? ifndef_line : 1,
+                               "include-guard",
+                               "missing include guard " + expected_guard});
+  }
+  return findings;
+}
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& relpath) {
+  std::ifstream in(path);
+  if (!in) {
+    return {Finding{path, 0, "io", "cannot open file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintSource(path, relpath, buffer.str());
+}
+
+std::vector<Finding> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    const std::string relpath =
+        fs::relative(fs::path(file), fs::path(root)).generic_string();
+    std::vector<Finding> file_findings = LintFile(file, relpath);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
+      << finding.message;
+  return out.str();
+}
+
+}  // namespace dbtune_lint

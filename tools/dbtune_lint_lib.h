@@ -1,0 +1,49 @@
+#ifndef DBTUNE_TOOLS_DBTUNE_LINT_LIB_H_
+#define DBTUNE_TOOLS_DBTUNE_LINT_LIB_H_
+
+#include <string>
+#include <vector>
+
+namespace dbtune_lint {
+
+/// One rule violation at a specific line.
+struct Finding {
+  std::string file;   // display path (as passed / discovered)
+  int line = 0;       // 1-based
+  std::string rule;   // rule id, e.g. "naked-new"
+  std::string message;
+};
+
+/// Rule ids enforced by the linter:
+///   random-seed   — std::rand/srand/std::random_device/time()-based
+///                   seeding outside src/util/random (all randomness must
+///                   flow through the seeded Rng for reproducibility)
+///   naked-new     — raw `new` / `delete` expressions (`= delete` for
+///                   deleted functions is fine); use make_unique etc.
+///   using-namespace-std — `using namespace std` at any scope
+///   include-guard — header guards must be DBTUNE_<PATH>_H_
+///   iostream      — no <iostream> in library code outside util/logging
+///
+/// Any rule can be suppressed for one line with a trailing comment:
+///   ... code ...  // dbtune-lint: allow(<rule>)
+
+/// Lints one translation unit given its content. `relpath` is the path
+/// relative to the linted root (used for path-scoped rules and the
+/// expected include-guard name); `display_path` is what findings report.
+std::vector<Finding> LintSource(const std::string& display_path,
+                                const std::string& relpath,
+                                const std::string& content);
+
+/// Reads and lints one file on disk.
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& relpath);
+
+/// Recursively lints every .h/.cc file under `root`.
+std::vector<Finding> LintTree(const std::string& root);
+
+/// "file:line: [rule] message" for human / CI output.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace dbtune_lint
+
+#endif  // DBTUNE_TOOLS_DBTUNE_LINT_LIB_H_

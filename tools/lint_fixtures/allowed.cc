@@ -1,0 +1,12 @@
+// Fixture: every rule suppressed by the documented escape hatch — the
+// linter must report nothing for this file.
+#include <cstdlib>
+#include <iostream>  // dbtune-lint: allow(iostream)
+
+using namespace std;  // dbtune-lint: allow(using-namespace-std)
+
+int AllowedRand() { return std::rand(); }  // dbtune-lint: allow(random-seed)
+
+int* AllowedNew() { return new int(7); }  // dbtune-lint: allow(naked-new)
+
+void AllowedDelete(int* p) { delete p; }  // dbtune-lint: allow(naked-new)

@@ -1,0 +1,7 @@
+#ifndef LEGACY_GUARD_NAME_H  // dbtune-lint: allow(include-guard)
+#define LEGACY_GUARD_NAME_H
+
+// Fixture: a nonconforming guard kept via the escape hatch.
+int LegacyGuard();
+
+#endif  // LEGACY_GUARD_NAME_H

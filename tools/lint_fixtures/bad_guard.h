@@ -1,0 +1,7 @@
+#ifndef SOME_WRONG_GUARD_H
+#define SOME_WRONG_GUARD_H
+
+// Fixture: guard should be DBTUNE_BAD_GUARD_H_ for this path.
+int BadGuard();
+
+#endif  // SOME_WRONG_GUARD_H

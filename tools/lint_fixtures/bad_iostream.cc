@@ -1,0 +1,4 @@
+// Fixture: <iostream> is banned in library code outside util/logging.
+#include <iostream>
+
+void Print() { std::cout << "hello\n"; }

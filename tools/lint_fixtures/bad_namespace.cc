@@ -1,0 +1,6 @@
+// Fixture: the using-namespace-std rule.
+#include <string>
+
+using namespace std;
+
+string Greeting() { return "hi"; }

@@ -1,0 +1,10 @@
+// Fixture: naked new/delete must fire; deleted functions must not.
+struct Widget {
+  Widget() = default;
+  Widget(const Widget&) = delete;
+  Widget& operator=(const Widget&) = delete;
+};
+
+Widget* Make() { return new Widget(); }
+
+void Destroy(Widget* w) { delete w; }

@@ -1,0 +1,13 @@
+// Fixture: every form of non-deterministic seeding the random-seed rule
+// must catch. Never compiled — consumed by tests/test_lint.cc.
+#include <cstdlib>
+#include <random>
+
+int UsesRand() { return std::rand(); }
+
+void SeedsFromClock() { std::srand(static_cast<unsigned>(time(nullptr))); }
+
+unsigned UsesRandomDevice() {
+  std::random_device device;
+  return device();
+}

@@ -1,0 +1,15 @@
+#ifndef DBTUNE_CLEAN_H_
+#define DBTUNE_CLEAN_H_
+
+// Fixture: fully conforming file — mentions renewal and deletion only in
+// comments and strings, which the scanner must ignore.
+#include <memory>
+#include <string>
+
+inline std::string Describe() { return "new delete rand() time("; }
+
+inline std::unique_ptr<int> MakeBoxed(int v) {
+  return std::make_unique<int>(v);
+}
+
+#endif  // DBTUNE_CLEAN_H_
