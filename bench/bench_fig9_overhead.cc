@@ -12,17 +12,25 @@
 // In addition to the google-benchmark suite, the binary opens with a
 // thread-scaling report: GP fit, RF fit, and one full BO iteration timed
 // at 1, 2, and hardware_concurrency() pool threads, emitted as JSON lines
-// so the bench trajectory can track the parallel-layer speedup.
+// so the bench trajectory can track the parallel-layer speedup. Timing
+// flows through the obs metrics registry (not ad-hoc clock reads): each
+// task reports its total seconds plus a per-phase breakdown from the
+// instrumented gp.fit / gp.predict / forest.fit / optimizer.suggest.*
+// histograms. Set DBTUNE_FIG9_REPORT=<path> to also write the JSON lines
+// to a file (CI uploads it as an artifact).
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <utility>
 
 #include "dbms/environment.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "knobs/catalog.h"
 #include "optimizer/optimizer.h"
 #include "sampling/latin_hypercube.h"
@@ -109,12 +117,6 @@ void RegisterAll() {
 
 // --- Thread-scaling report ------------------------------------------------
 
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 FeatureMatrix RandomInputs(size_t n, size_t d, uint64_t seed) {
   Rng rng(seed);
   FeatureMatrix x(n, std::vector<double>(d));
@@ -137,55 +139,82 @@ std::vector<double> SyntheticTargets(const FeatureMatrix& x) {
   return y;
 }
 
-// One scaling task: returns (seconds, output checksum). The checksum is
-// compared across thread counts to assert bit-identical results.
+// One scaling task: total seconds, output checksum, and the per-phase
+// seconds attributed by the obs registry. The checksum is compared across
+// thread counts to assert bit-identical results.
 struct TaskResult {
   double seconds = 0.0;
   double checksum = 0.0;
+  std::vector<std::pair<std::string, double>> phases;
 };
+
+double HistogramSum(const std::string& name) {
+  const dbtune::obs::Histogram* hist =
+      dbtune::obs::MetricsRegistry::Get().FindHistogram(name);
+  return hist == nullptr ? 0.0 : hist->sum_seconds();
+}
+
+// Runs `body` (which returns the checksum) and attributes its cost: total
+// seconds from the obs clock, per-phase seconds as the delta of each named
+// histogram's sum across the run.
+TaskResult MeasureWithRegistry(const std::vector<std::string>& phase_names,
+                               const std::function<double()>& body) {
+  std::vector<double> before(phase_names.size());
+  for (size_t i = 0; i < phase_names.size(); ++i) {
+    before[i] = HistogramSum(phase_names[i]);
+  }
+  TaskResult result;
+  const double start = obs::MonotonicSeconds();
+  result.checksum = body();
+  result.seconds = obs::MonotonicSeconds() - start;
+  for (size_t i = 0; i < phase_names.size(); ++i) {
+    result.phases.emplace_back(phase_names[i],
+                               HistogramSum(phase_names[i]) - before[i]);
+  }
+  return result;
+}
 
 TaskResult TimeGpFit(const FeatureMatrix& x, const std::vector<double>& y,
                      const FeatureMatrix& queries) {
-  GaussianProcessOptions options;
-  options.hyperopt_every = 1;
-  GaussianProcess gp(std::make_unique<Matern52Kernel>(), options);
-  const double start = NowSeconds();
-  const Status fit = gp.Fit(x, y);
-  TaskResult result;
-  result.seconds = NowSeconds() - start;
-  if (!fit.ok()) return result;
-  result.checksum = gp.log_marginal_likelihood();
-  for (const auto& q : queries) {
-    double mean = 0.0, var = 0.0;
-    gp.PredictMeanVar(q, &mean, &var);
-    result.checksum += mean + var;
-  }
-  return result;
+  return MeasureWithRegistry({"gp.fit", "gp.predict"}, [&] {
+    GaussianProcessOptions options;
+    options.hyperopt_every = 1;
+    GaussianProcess gp(std::make_unique<Matern52Kernel>(), options);
+    if (!gp.Fit(x, y).ok()) return 0.0;
+    double checksum = gp.log_marginal_likelihood();
+    for (const auto& q : queries) {
+      double mean = 0.0, var = 0.0;
+      gp.PredictMeanVar(q, &mean, &var);
+      checksum += mean + var;
+    }
+    return checksum;
+  });
 }
 
 TaskResult TimeRfFit(const FeatureMatrix& x, const std::vector<double>& y,
                      const FeatureMatrix& queries) {
-  RandomForestOptions options;
-  options.num_trees = 100;
-  options.seed = 97;
-  RandomForest forest(options);
-  const double start = NowSeconds();
-  const Status fit = forest.Fit(x, y);
-  TaskResult result;
-  result.seconds = NowSeconds() - start;
-  if (!fit.ok()) return result;
-  for (const auto& q : queries) {
-    double mean = 0.0, var = 0.0;
-    forest.PredictMeanVar(q, &mean, &var);
-    result.checksum += mean + var;
-  }
-  return result;
+  return MeasureWithRegistry({"forest.fit"}, [&] {
+    RandomForestOptions options;
+    options.num_trees = 100;
+    options.seed = 97;
+    RandomForest forest(options);
+    if (!forest.Fit(x, y).ok()) return 0.0;
+    double checksum = 0.0;
+    for (const auto& q : queries) {
+      double mean = 0.0, var = 0.0;
+      forest.PredictMeanVar(q, &mean, &var);
+      checksum += mean + var;
+    }
+    return checksum;
+  });
 }
 
 // One full BO iteration (surrogate fit + acquisition maximization) on a
 // 200-observation history — the per-iteration wall clock that Figure 9
-// tracks, for the optimizer `type`.
+// tracks, for the optimizer `type`. `suggest_histogram` names the
+// optimizer's instrumented suggest histogram for the phase breakdown.
 TaskResult TimeBoIteration(OptimizerType type,
+                           const std::string& suggest_histogram,
                            const std::vector<Observation>& observations) {
   const ConfigurationSpace& space = MediumSpace();
   OptimizerOptions options;
@@ -196,29 +225,64 @@ TaskResult TimeBoIteration(OptimizerType type,
     optimizer->ObserveWithMetrics(obs.config, obs.score,
                                   obs.internal_metrics);
   }
-  const double start = NowSeconds();
-  const Configuration suggestion = optimizer->Suggest();
-  TaskResult result;
-  result.seconds = NowSeconds() - start;
-  for (size_t i = 0; i < suggestion.size(); ++i) {
-    result.checksum += suggestion[i] * static_cast<double>(i + 1);
-  }
-  return result;
+  return MeasureWithRegistry(
+      {suggest_histogram, "gp.fit", "gp.predict", "forest.fit"}, [&] {
+        const Configuration suggestion = optimizer->Suggest();
+        double checksum = 0.0;
+        for (size_t i = 0; i < suggestion.size(); ++i) {
+          checksum += suggestion[i] * static_cast<double>(i + 1);
+        }
+        return checksum;
+      });
 }
 
-void PrintScalingLine(const char* task, size_t threads, const TaskResult& r,
-                      const TaskResult& baseline) {
+// The JSON report accumulates here; it is printed line by line and, when
+// DBTUNE_FIG9_REPORT names a file, written there too for CI artifacts.
+std::string g_report;
+
+void EmitScalingLine(const char* task, size_t threads, const TaskResult& r,
+                     const TaskResult& baseline) {
   const bool identical = r.checksum == baseline.checksum;
-  std::printf(
+  std::string phases = "{";
+  for (size_t i = 0; i < r.phases.size(); ++i) {
+    char entry[128];
+    std::snprintf(entry, sizeof(entry), "%s\"%s\":%.6f", i == 0 ? "" : ",",
+                  r.phases[i].first.c_str(), r.phases[i].second);
+    phases += entry;
+  }
+  phases += "}";
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
       "{\"bench\":\"fig9_thread_scaling\",\"task\":\"%s\","
       "\"threads\":%zu,\"seconds\":%.6f,\"speedup_vs_1t\":%.3f,"
-      "\"identical_to_1t\":%s}\n",
+      "\"identical_to_1t\":%s,\"phases_s\":%s}\n",
       task, threads, r.seconds,
       r.seconds > 0.0 ? baseline.seconds / r.seconds : 0.0,
-      identical ? "true" : "false");
+      identical ? "true" : "false", phases.c_str());
+  std::printf("%s", line);
+  g_report += line;
+}
+
+void MaybeWriteReportFile() {
+  const char* path = std::getenv("DBTUNE_FIG9_REPORT");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open DBTUNE_FIG9_REPORT path %s\n", path);
+    return;
+  }
+  std::fwrite(g_report.data(), 1, g_report.size(), file);
+  std::fclose(file);
+  std::printf("report written to %s\n", path);
 }
 
 void RunThreadScalingReport() {
+  // Phase attribution needs the instrumented histograms live for the
+  // duration of the report; restore the ambient state afterwards so the
+  // google-benchmark section runs exactly as configured.
+  const bool metrics_were_enabled = dbtune::obs::MetricsEnabled();
+  dbtune::obs::SetMetricsEnabled(true);
   const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
   std::vector<size_t> thread_counts = {1};
   if (hw >= 2) thread_counts.push_back(2);
@@ -250,9 +314,15 @@ void RunThreadScalingReport() {
       {"gp_fit_n500", [&] { return TimeGpFit(gp_x, gp_y, queries); }},
       {"rf_fit_100trees", [&] { return TimeRfFit(rf_x, rf_y, queries); }},
       {"bo_iteration_vanilla_bo",
-       [&] { return TimeBoIteration(OptimizerType::kVanillaBo, observations); }},
+       [&] {
+         return TimeBoIteration(OptimizerType::kVanillaBo,
+                                "optimizer.suggest.gp_bo", observations);
+       }},
       {"bo_iteration_smac",
-       [&] { return TimeBoIteration(OptimizerType::kSmac, observations); }},
+       [&] {
+         return TimeBoIteration(OptimizerType::kSmac,
+                                "optimizer.suggest.smac", observations);
+       }},
   };
 
   std::printf("--- thread scaling (JSON) ---\n");
@@ -265,10 +335,12 @@ void RunThreadScalingReport() {
       task.run();
       const TaskResult r = task.run();
       if (threads == 1) baseline = r;
-      PrintScalingLine(task.name, threads, r, baseline);
+      EmitScalingLine(task.name, threads, r, baseline);
     }
   }
   ExecutionContext::Get().SetNumThreads(hw);
+  MaybeWriteReportFile();
+  dbtune::obs::SetMetricsEnabled(metrics_were_enabled);
   std::printf("\n");
 }
 

@@ -1,18 +1,15 @@
 #include "benchmk/surrogate_benchmark.h"
 
 #include <algorithm>
-#include <chrono>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace dbtune {
 
 namespace {
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 // Per-evaluation cost on the real system (restart + 3-minute stress test).
 constexpr double kRealEvaluationSeconds = 210.0;
 }  // namespace
@@ -43,10 +40,15 @@ Result<std::unique_ptr<SurrogateBenchmark>> SurrogateBenchmark::Build(
 }
 
 double SurrogateBenchmark::PredictObjective(const Configuration& config) const {
-  const double t0 = NowSeconds();
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& evaluations =
+        obs::MetricsRegistry::Get().counter("surrogate.evaluations");
+    evaluations.Increment();
+  }
+  const double t0 = obs::MonotonicSeconds();
   const double objective =
       forest_.Predict(space_.ToUnit(space_.Clip(config)));
-  evaluation_seconds_ += NowSeconds() - t0;
+  evaluation_seconds_ += obs::MonotonicSeconds() - t0;
   ++evaluations_;
   return objective;
 }
@@ -86,10 +88,8 @@ SessionResult RunSurrogateSession(SurrogateBenchmark* benchmark,
   double best_score = -1e300;
   double best_objective = benchmark->default_objective();
   for (size_t iter = 0; iter < iterations; ++iter) {
-    const double t0 =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count();
+    DBTUNE_TRACE_SPAN("surrogate.iteration");
+    const double t0 = obs::MonotonicSeconds();
     const Configuration config = optimizer->Suggest();
     const double objective = benchmark->PredictObjective(config);
     const double score =
@@ -97,10 +97,7 @@ SessionResult RunSurrogateSession(SurrogateBenchmark* benchmark,
             ? objective
             : -objective;
     optimizer->Observe(benchmark->space().Clip(config), score);
-    const double t1 =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count();
+    const double t1 = obs::MonotonicSeconds();
     result.algorithm_overhead_seconds += t1 - t0;
     if (score > best_score) {
       best_score = score;

@@ -1,6 +1,7 @@
 #include "core/advisor.h"
 
 #include "dbms/environment.h"
+#include "obs/trace.h"
 #include "sampling/latin_hypercube.h"
 #include "transfer/rgpe.h"
 #include "util/logging.h"
@@ -15,37 +16,44 @@ Result<AdvisorReport> TuneDbms(DbmsSimulator* simulator,
       options.tuning_knobs > simulator->space().dimension()) {
     return Status::InvalidArgument("tuning_knobs out of range");
   }
+  DBTUNE_TRACE_SPAN("advisor.tune");
 
   AdvisorReport report;
 
   // --- Step 1: collect observations over the full space.
   TuningEnvironment full_env(simulator);
   Rng rng(options.seed);
-  const std::vector<Configuration> samples = LatinHypercubeSample(
-      simulator->space(), options.importance_samples, rng);
   std::vector<Configuration> configs;
   std::vector<double> scores;
-  for (const Configuration& config : samples) {
-    const Observation obs = full_env.Evaluate(config);
-    configs.push_back(obs.config);
-    scores.push_back(obs.score);
+  {
+    DBTUNE_TRACE_SPAN("advisor.collect");
+    const std::vector<Configuration> samples = LatinHypercubeSample(
+        simulator->space(), options.importance_samples, rng);
+    for (const Configuration& config : samples) {
+      const Observation obs = full_env.Evaluate(config);
+      configs.push_back(obs.config);
+      scores.push_back(obs.score);
+    }
   }
   report.default_objective = full_env.default_objective();
 
   // --- Step 2: rank knobs and prune the space.
-  DBTUNE_ASSIGN_OR_RETURN(
-      const ImportanceInput input,
-      MakeImportanceInput(simulator->space(), configs, scores,
-                          simulator->EffectiveDefault(),
-                          full_env.default_score()));
-  std::unique_ptr<ImportanceMeasure> measure =
-      CreateImportanceMeasure(options.measurement, options.seed);
-  DBTUNE_ASSIGN_OR_RETURN(const std::vector<double> importance,
-                          measure->Rank(input));
-  report.selected_knobs = TopKnobs(importance, options.tuning_knobs);
-  for (size_t knob : report.selected_knobs) {
-    report.selected_knob_names.push_back(
-        simulator->space().knob(knob).name());
+  {
+    DBTUNE_TRACE_SPAN("advisor.rank_knobs");
+    DBTUNE_ASSIGN_OR_RETURN(
+        const ImportanceInput input,
+        MakeImportanceInput(simulator->space(), configs, scores,
+                            simulator->EffectiveDefault(),
+                            full_env.default_score()));
+    std::unique_ptr<ImportanceMeasure> measure =
+        CreateImportanceMeasure(options.measurement, options.seed);
+    DBTUNE_ASSIGN_OR_RETURN(const std::vector<double> importance,
+                            measure->Rank(input));
+    report.selected_knobs = TopKnobs(importance, options.tuning_knobs);
+    for (size_t knob : report.selected_knobs) {
+      report.selected_knob_names.push_back(
+          simulator->space().knob(knob).name());
+    }
   }
 
   // --- Step 3: optimize over the pruned space, with RGPE when history

@@ -1,18 +1,12 @@
 #include "core/tuning_session.h"
 
-#include <chrono>
-
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/session_log.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace dbtune {
-
-namespace {
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
 
 SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
                                size_t iterations, SessionControls controls) {
@@ -20,22 +14,50 @@ SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
   DBTUNE_CHECK(optimizer->space().dimension() == env->space().dimension());
   optimizer->SetReferenceScore(env->default_score());
 
+  static obs::Histogram& suggest_hist =
+      obs::MetricsRegistry::Get().histogram("session.suggest");
+  static obs::Histogram& evaluate_hist =
+      obs::MetricsRegistry::Get().histogram("session.evaluate");
+  static obs::Histogram& observe_hist =
+      obs::MetricsRegistry::Get().histogram("session.observe");
+  static obs::Counter& iteration_counter =
+      obs::MetricsRegistry::Get().counter("session.iterations");
+  static obs::Gauge& best_score_gauge =
+      obs::MetricsRegistry::Get().gauge("session.best_score");
+
+  obs::SessionLogger session_log(
+      obs::SessionLogger::ResolvePath(controls.session_log_path));
+
   SessionResult result;
   result.improvement_trace.reserve(iterations);
   result.objective_trace.reserve(iterations);
   const double sim_seconds_start = env->simulator().simulated_seconds();
 
   for (size_t iter = 0; iter < iterations; ++iter) {
-    const double t0 = NowSeconds();
-    const Configuration config = optimizer->Suggest();
-    const double t1 = NowSeconds();
+    DBTUNE_TRACE_SPAN("session.iteration");
 
-    const Observation obs = env->Evaluate(config);
+    const double t0 = obs::MonotonicSeconds();
+    const Configuration config = [&] {
+      obs::ScopedLatency latency(&suggest_hist);
+      DBTUNE_TRACE_SPAN("session.suggest");
+      return optimizer->Suggest();
+    }();
+    const double t1 = obs::MonotonicSeconds();
 
-    const double t2 = NowSeconds();
-    optimizer->ObserveWithMetrics(obs.config, obs.score,
-                                  obs.internal_metrics);
-    const double t3 = NowSeconds();
+    const Observation observation = [&] {
+      obs::ScopedLatency latency(&evaluate_hist);
+      DBTUNE_TRACE_SPAN("session.evaluate");
+      return env->Evaluate(config);
+    }();
+    const double t2 = obs::MonotonicSeconds();
+
+    {
+      obs::ScopedLatency latency(&observe_hist);
+      DBTUNE_TRACE_SPAN("session.observe");
+      optimizer->ObserveWithMetrics(observation.config, observation.score,
+                                    observation.internal_metrics);
+    }
+    const double t3 = obs::MonotonicSeconds();
 
     const double overhead = (t1 - t0) + (t3 - t2);
     result.algorithm_overhead_seconds += overhead;
@@ -44,6 +66,22 @@ SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
     }
     result.improvement_trace.push_back(env->ImprovementPercent());
     result.objective_trace.push_back(env->best_objective());
+
+    if (obs::MetricsEnabled()) {
+      iteration_counter.Increment();
+      best_score_gauge.Set(env->best_objective());
+    }
+    if (session_log.enabled()) {
+      obs::SessionIterationRecord record;
+      record.iteration = iter + 1;
+      record.suggest_seconds = t1 - t0;
+      record.evaluate_seconds = t2 - t1;
+      record.observe_seconds = t3 - t2;
+      record.score = observation.score;
+      record.best_score = env->best_objective();
+      record.improvement_percent = env->ImprovementPercent();
+      session_log.Log(record);
+    }
   }
 
   result.final_improvement = env->ImprovementPercent();
@@ -51,6 +89,15 @@ SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
   result.best_iteration = env->best_iteration();
   result.simulated_evaluation_seconds =
       env->simulator().simulated_seconds() - sim_seconds_start;
+
+  const std::string trace_path =
+      controls.trace_path.empty() ? obs::TraceEnvPath() : controls.trace_path;
+  if (!trace_path.empty()) {
+    const Status written = obs::WriteTrace(trace_path);
+    if (!written.ok()) {
+      DBTUNE_LOG(kWarning) << "trace not written: " << written.ToString();
+    }
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define DBTUNE_CORE_TUNING_SESSION_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dbms/environment.h"
@@ -32,6 +33,12 @@ struct SessionResult {
 struct SessionControls {
   /// Record per-iteration optimizer overhead (Figure 9).
   bool record_overhead = false;
+  /// When non-empty, one JSON line per iteration is written here (see
+  /// obs::SessionLogger). Empty → fall back to `DBTUNE_SESSION_LOG`.
+  std::string session_log_path;
+  /// When non-empty, the Chrome trace buffer is written here at session
+  /// end. Empty → fall back to the path form of `DBTUNE_TRACE`.
+  std::string trace_path;
 };
 
 /// Drives `iterations` suggest/evaluate/observe rounds of `optimizer`

@@ -1,25 +1,25 @@
 #include "knobs/configuration_space.h"
 
-#include <set>
-
 #include "util/logging.h"
 
 namespace dbtune {
 
 ConfigurationSpace::ConfigurationSpace(std::vector<Knob> knobs)
     : knobs_(std::move(knobs)) {
-  std::set<std::string> names;
-  for (const Knob& k : knobs_) {
-    DBTUNE_CHECK_MSG(names.insert(k.name()).second,
-                     "duplicate knob name: " + k.name());
+  index_by_name_.reserve(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    const bool inserted =
+        index_by_name_.emplace(knobs_[i].name(), i).second;
+    DBTUNE_CHECK_MSG(inserted, "duplicate knob name: " + knobs_[i].name());
   }
 }
 
 Result<size_t> ConfigurationSpace::KnobIndex(const std::string& name) const {
-  for (size_t i = 0; i < knobs_.size(); ++i) {
-    if (knobs_[i].name() == name) return i;
+  const auto it = index_by_name_.find(name);
+  if (it == index_by_name_.end()) {
+    return Status::NotFound("no knob named " + name);
   }
-  return Status::NotFound("no knob named " + name);
+  return it->second;
 }
 
 Configuration ConfigurationSpace::Default() const {
@@ -56,6 +56,16 @@ Configuration ConfigurationSpace::FromUnit(
     values[i] = knobs_[i].Decode(unit[i]);
   }
   return Configuration(std::move(values));
+}
+
+std::vector<double> ConfigurationSpace::SnapUnit(
+    const std::vector<double>& unit) const {
+  DBTUNE_CHECK(unit.size() == knobs_.size());
+  std::vector<double> snapped(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    snapped[i] = knobs_[i].Encode(knobs_[i].Decode(unit[i]));
+  }
+  return snapped;
 }
 
 Configuration ConfigurationSpace::Clip(const Configuration& config) const {

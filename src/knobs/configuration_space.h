@@ -2,6 +2,7 @@
 #define DBTUNE_KNOBS_CONFIGURATION_SPACE_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "knobs/configuration.h"
@@ -41,6 +42,11 @@ class ConfigurationSpace {
   /// integers rounded, categories snapped).
   Configuration FromUnit(const std::vector<double>& unit) const;
 
+  /// Snaps a [0,1]^d point onto the encoded grid of realizable
+  /// configurations — bitwise identical to `ToUnit(FromUnit(unit))` but
+  /// without materializing the intermediate Configuration.
+  std::vector<double> SnapUnit(const std::vector<double>& unit) const;
+
   /// Clamps every value into its knob's domain.
   Configuration Clip(const Configuration& config) const;
 
@@ -57,6 +63,7 @@ class ConfigurationSpace {
 
  private:
   std::vector<Knob> knobs_;
+  std::unordered_map<std::string, size_t> index_by_name_;
 };
 
 /// A selected subset of a full space's knobs: optimizers work in the

@@ -1,0 +1,39 @@
+#ifndef DBTUNE_OBS_CLOCK_H_
+#define DBTUNE_OBS_CLOCK_H_
+
+#include <cstdint>
+
+namespace dbtune::obs {
+
+/// The library's single time source. Every latency measurement and trace
+/// timestamp flows through these two functions (the `raw-timing` lint
+/// rule bans std::chrono clocks outside src/obs), so swapping the clock
+/// swaps it everywhere at once.
+///
+/// Two modes:
+///  - real (default): std::chrono::steady_clock, nanosecond resolution.
+///  - fake: a process-wide atomic tick that advances by exactly 1ms per
+///    call, starting at 0. Enabled with `DBTUNE_OBS_FAKE_CLOCK=1` or
+///    `EnableFakeClockForTest()`. With the fake clock, any
+///    single-threaded deterministic code path produces byte-identical
+///    traces and session logs across runs — the property the obs golden
+///    tests assert.
+
+/// Monotonic nanoseconds since an arbitrary epoch (process start order).
+uint64_t MonotonicNanos();
+
+/// Monotonic seconds (MonotonicNanos() / 1e9).
+double MonotonicSeconds();
+
+/// Switches to the deterministic fake clock and resets its tick to 0.
+void EnableFakeClockForTest();
+
+/// Returns to the real steady clock.
+void DisableFakeClockForTest();
+
+/// True when the fake clock is active (env switch or test override).
+bool FakeClockActive();
+
+}  // namespace dbtune::obs
+
+#endif  // DBTUNE_OBS_CLOCK_H_

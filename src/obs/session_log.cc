@@ -1,0 +1,60 @@
+#include "obs/session_log.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace dbtune::obs {
+
+SessionLogger::SessionLogger(const std::string& path) {
+  if (path.empty()) return;
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    DBTUNE_LOG(kWarning) << "session log disabled: cannot open " << path;
+  }
+}
+
+SessionLogger::~SessionLogger() { Close(); }
+
+SessionLogger::SessionLogger(SessionLogger&& other) noexcept
+    : file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+SessionLogger& SessionLogger::operator=(SessionLogger&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+void SessionLogger::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void SessionLogger::Log(const SessionIterationRecord& record) {
+  if (file_ == nullptr) return;
+  // Fixed field order and formats: the line layout is part of the
+  // deterministic-output contract.
+  std::fprintf(file_,
+               "{\"iter\":%zu,\"suggest_s\":%.9f,\"evaluate_s\":%.9f,"
+               "\"observe_s\":%.9f,\"score\":%.9g,\"best_score\":%.9g,"
+               "\"improvement_pct\":%.9g}\n",
+               record.iteration, record.suggest_seconds,
+               record.evaluate_seconds, record.observe_seconds, record.score,
+               record.best_score, record.improvement_percent);
+  std::fflush(file_);
+}
+
+std::string SessionLogger::ResolvePath(const std::string& explicit_path) {
+  if (!explicit_path.empty()) return explicit_path;
+  const char* env = std::getenv("DBTUNE_SESSION_LOG");
+  return env == nullptr ? "" : env;
+}
+
+}  // namespace dbtune::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace dbtune {
@@ -49,6 +51,10 @@ DdpgOptimizer::DdpgOptimizer(const ConfigurationSpace& space,
       state_(ddpg_options.state_dim, 0.0) {}
 
 Configuration DdpgOptimizer::Suggest() {
+  static obs::Histogram& suggest_hist =
+      obs::MetricsRegistry::Get().histogram("optimizer.suggest.ddpg");
+  obs::ScopedLatency suggest_latency(&suggest_hist);
+  DBTUNE_TRACE_SPAN("ddpg.suggest");
   std::vector<double> action = actor_.Forward(state_);
   // Exploration noise with linear decay, scaled down in high dimensions
   // (perturbing 197 knobs at full strength would keep the agent in the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/latin_hypercube.h"
 #include "util/logging.h"
 
@@ -77,6 +79,10 @@ void GeneticOptimizer::BreedNextGeneration() {
 }
 
 Configuration GeneticOptimizer::Suggest() {
+  static obs::Histogram& suggest_hist =
+      obs::MetricsRegistry::Get().histogram("optimizer.suggest.genetic");
+  obs::ScopedLatency suggest_latency(&suggest_hist);
+  DBTUNE_TRACE_SPAN("genetic.suggest");
   if (cursor_ >= population_.size()) BreedNextGeneration();
   pending_ = static_cast<int>(cursor_);
   ++cursor_;

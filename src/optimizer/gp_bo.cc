@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -15,6 +17,10 @@ GpBoOptimizer::GpBoOptimizer(const ConfigurationSpace& space,
     : Optimizer(space, options), gp_(std::move(kernel)) {}
 
 Configuration GpBoOptimizer::Suggest() {
+  static obs::Histogram& suggest_hist =
+      obs::MetricsRegistry::Get().histogram("optimizer.suggest.gp_bo");
+  obs::ScopedLatency suggest_latency(&suggest_hist);
+  DBTUNE_TRACE_SPAN("gp_bo.suggest");
   if (InitPending()) return NextInit();
   DBTUNE_CHECK(!scores_.empty());
 

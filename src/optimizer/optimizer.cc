@@ -6,6 +6,8 @@
 #include "optimizer/ddpg.h"
 #include "optimizer/genetic.h"
 #include "optimizer/mixed_kernel_bo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/random_search.h"
 #include "optimizer/smac.h"
 #include "optimizer/tpe.h"
@@ -44,6 +46,12 @@ Optimizer::Optimizer(const ConfigurationSpace& space, OptimizerOptions options)
 
 void Optimizer::Observe(const Configuration& config, double score) {
   DBTUNE_CHECK(config.size() == space_.dimension());
+  DBTUNE_TRACE_SPAN("optimizer.observe");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& observations =
+        obs::MetricsRegistry::Get().counter("optimizer.observations");
+    observations.Increment();
+  }
   configs_.push_back(config);
   unit_history_.push_back(space_.ToUnit(config));
   scores_.push_back(score);

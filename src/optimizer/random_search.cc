@@ -1,5 +1,8 @@
 #include "optimizer/random_search.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dbtune {
 
 RandomSearchOptimizer::RandomSearchOptimizer(const ConfigurationSpace& space,
@@ -7,6 +10,10 @@ RandomSearchOptimizer::RandomSearchOptimizer(const ConfigurationSpace& space,
     : Optimizer(space, options) {}
 
 Configuration RandomSearchOptimizer::Suggest() {
+  static obs::Histogram& suggest_hist =
+      obs::MetricsRegistry::Get().histogram("optimizer.suggest.random_search");
+  obs::ScopedLatency suggest_latency(&suggest_hist);
+  DBTUNE_TRACE_SPAN("random_search.suggest");
   return space_.SampleUniform(rng_);
 }
 

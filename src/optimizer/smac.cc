@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -47,6 +49,10 @@ std::vector<double> SmacOptimizer::MutateNeighbor(
 }
 
 Configuration SmacOptimizer::Suggest() {
+  static obs::Histogram& suggest_hist =
+      obs::MetricsRegistry::Get().histogram("optimizer.suggest.smac");
+  obs::ScopedLatency suggest_latency(&suggest_hist);
+  DBTUNE_TRACE_SPAN("smac.suggest");
   if (InitPending()) return NextInit();
   DBTUNE_CHECK(!scores_.empty());
   if (rng_.Bernoulli(smac_options_.random_interleave)) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -84,6 +86,10 @@ double TpeOptimizer::DensityAt(const DimensionDensity& density, double value,
 }
 
 Configuration TpeOptimizer::Suggest() {
+  static obs::Histogram& suggest_hist =
+      obs::MetricsRegistry::Get().histogram("optimizer.suggest.tpe");
+  obs::ScopedLatency suggest_latency(&suggest_hist);
+  DBTUNE_TRACE_SPAN("tpe.suggest");
   if (InitPending()) return NextInit();
   DBTUNE_CHECK(!scores_.empty());
 

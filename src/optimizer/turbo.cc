@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -45,6 +47,10 @@ std::vector<size_t> TurboOptimizer::PointsInRegion(
 }
 
 Configuration TurboOptimizer::Suggest() {
+  static obs::Histogram& suggest_hist =
+      obs::MetricsRegistry::Get().histogram("optimizer.suggest.turbo");
+  obs::ScopedLatency suggest_latency(&suggest_hist);
+  DBTUNE_TRACE_SPAN("turbo.suggest");
   if (InitPending()) return NextInit();
   DBTUNE_CHECK(!scores_.empty());
   const size_t d = space_.dimension();

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -50,6 +52,10 @@ Result<double> GaussianProcess::FitWith(double lengthscale, double noise) {
 
 Status GaussianProcess::Fit(const FeatureMatrix& x,
                             const std::vector<double>& y) {
+  static obs::Histogram& fit_hist =
+      obs::MetricsRegistry::Get().histogram("gp.fit");
+  obs::ScopedLatency fit_latency(&fit_hist);
+  DBTUNE_TRACE_SPAN("gp.fit");
   DBTUNE_RETURN_IF_ERROR(ValidateTrainingData(x, y));
   x_ = x;
   y_mean_ = Mean(y);
@@ -105,6 +111,11 @@ double GaussianProcess::Predict(const std::vector<double>& x) const {
 void GaussianProcess::PredictMeanVar(const std::vector<double>& x,
                                      double* mean, double* variance) const {
   DBTUNE_CHECK_MSG(fitted_, "Predict before Fit");
+  // No trace span here: predictions run thousands of times per suggest,
+  // often from pool workers; a lock-free histogram is all it can afford.
+  static obs::Histogram& predict_hist =
+      obs::MetricsRegistry::Get().histogram("gp.predict");
+  obs::ScopedLatency predict_latency(&predict_hist);
   const size_t n = x_.size();
   std::vector<double> k_star(n);
   ParallelFor(GlobalPool(), 0, n, /*grain=*/64,

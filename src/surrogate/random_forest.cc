@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -12,6 +14,10 @@ RandomForest::RandomForest(RandomForestOptions options)
     : options_(options), rng_(options.seed) {}
 
 Status RandomForest::Fit(const FeatureMatrix& x, const std::vector<double>& y) {
+  static obs::Histogram& fit_hist =
+      obs::MetricsRegistry::Get().histogram("forest.fit");
+  obs::ScopedLatency fit_latency(&fit_hist);
+  DBTUNE_TRACE_SPAN("forest.fit");
   DBTUNE_RETURN_IF_ERROR(ValidateTrainingData(x, y));
   num_features_ = x.front().size();
   trees_.clear();

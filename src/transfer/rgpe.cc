@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace dbtune {
+
+void MixtureMeanVar(const std::vector<double>& weights,
+                    const std::vector<double>& means,
+                    const std::vector<double>& variances, double* mean,
+                    double* variance) {
+  DBTUNE_CHECK(weights.size() == means.size());
+  DBTUNE_CHECK(weights.size() == variances.size());
+  double mu = 0.0;
+  double second_moment = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    mu += weights[i] * means[i];
+    second_moment += weights[i] * (means[i] * means[i] + variances[i]);
+  }
+  *mean = mu;
+  *variance = std::max(0.0, second_moment - mu * mu);
+}
 
 RgpeOptimizer::RgpeOptimizer(const ConfigurationSpace& space,
                              OptimizerOptions options,
@@ -43,6 +62,10 @@ void RgpeOptimizer::FitBaseModels() {
 }
 
 Configuration RgpeOptimizer::Suggest() {
+  static obs::Histogram& suggest_hist =
+      obs::MetricsRegistry::Get().histogram("optimizer.suggest.rgpe");
+  obs::ScopedLatency suggest_latency(&suggest_hist);
+  DBTUNE_TRACE_SPAN("rgpe.suggest");
   if (InitPending()) return NextInit();
   DBTUNE_CHECK(!scores_.empty());
   FitBaseModels();
@@ -148,22 +171,41 @@ Configuration RgpeOptimizer::Suggest() {
   const std::vector<std::vector<double>> candidates =
       BuildAcquisitionCandidates(space_, rng_, unit_history_, target_z,
                                  options_.acquisition_candidates);
+  // Only nonzero-weight models contribute to the mixture; skip the rest
+  // up front rather than once per candidate.
+  std::vector<size_t> active;
+  std::vector<double> active_weights;
+  for (size_t m = 0; m < models.size(); ++m) {
+    if (weights[m] != 0.0) {
+      active.push_back(m);
+      active_weights.push_back(weights[m]);
+    }
+  }
+
+  // Score candidates in parallel. Each index writes only ei[c], and
+  // SnapUnit replaces the old FromUnit/ToUnit round-trip (bitwise equal,
+  // no Configuration materialized), so scores are bit-identical at any
+  // pool size.
+  std::vector<double> ei(candidates.size(), 0.0);
+  ParallelFor(GlobalPool(), 0, candidates.size(), /*grain=*/16,
+              [&](size_t chunk_begin, size_t chunk_end) {
+                std::vector<double> mus(active.size());
+                std::vector<double> vars(active.size());
+                for (size_t c = chunk_begin; c < chunk_end; ++c) {
+                  const std::vector<double> u = space_.SnapUnit(candidates[c]);
+                  for (size_t k = 0; k < active.size(); ++k) {
+                    models[active[k]]->PredictMeanVar(u, &mus[k], &vars[k]);
+                  }
+                  double mean = 0.0, var = 0.0;
+                  MixtureMeanVar(active_weights, mus, vars, &mean, &var);
+                  ei[c] = ExpectedImprovement(mean, var, best);
+                }
+              });
   double best_ei = -1.0;
   size_t best_candidate = 0;
   for (size_t c = 0; c < candidates.size(); ++c) {
-    const Configuration config = space_.FromUnit(candidates[c]);
-    const std::vector<double> u = space_.ToUnit(config);
-    double mean = 0.0, var = 0.0;
-    for (size_t m = 0; m < models.size(); ++m) {
-      if (weights[m] == 0.0) continue;
-      double mu = 0.0, sigma2 = 0.0;
-      models[m]->PredictMeanVar(u, &mu, &sigma2);
-      mean += weights[m] * mu;
-      var += weights[m] * weights[m] * sigma2;
-    }
-    const double ei = ExpectedImprovement(mean, var, best);
-    if (ei > best_ei) {
-      best_ei = ei;
+    if (ei[c] > best_ei) {
+      best_ei = ei[c];
       best_candidate = c;
     }
   }

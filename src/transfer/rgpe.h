@@ -10,6 +10,16 @@
 
 namespace dbtune {
 
+/// Moments of the ensemble mixture Σ wᵢ N(μᵢ, σᵢ²): mean = Σ wᵢμᵢ and
+/// variance = Σ wᵢ(μᵢ² + σᵢ²) − mean² (law of total variance). Weights
+/// must sum to 1. Note this is NOT Σ wᵢ²σᵢ² — that would be the variance
+/// of a weighted *average* of independent draws, which both ignores the
+/// spread between model means and vanishes as the ensemble grows.
+void MixtureMeanVar(const std::vector<double>& weights,
+                    const std::vector<double>& means,
+                    const std::vector<double>& variances, double* mean,
+                    double* variance);
+
 /// RGPE-specific options (Feurer et al. 2018).
 struct RgpeOptions {
   /// Monte-Carlo samples for the ranking-loss weight estimation.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "surrogate/gaussian_process.h"
 #include "surrogate/random_forest.h"
 #include "util/logging.h"
@@ -86,6 +88,10 @@ void WorkloadMappingOptimizer::UpdateMapping() {
 }
 
 Configuration WorkloadMappingOptimizer::Suggest() {
+  static obs::Histogram& suggest_hist =
+      obs::MetricsRegistry::Get().histogram("optimizer.suggest.workload_mapping");
+  obs::ScopedLatency suggest_latency(&suggest_hist);
+  DBTUNE_TRACE_SPAN("workload_mapping.suggest");
   if (InitPending()) return NextInit();
   DBTUNE_CHECK(!scores_.empty());
   UpdateMapping();

@@ -20,7 +20,12 @@ double Variance(const std::vector<double>& values) {
   const double m = Mean(values);
   double acc = 0.0;
   for (double v : values) acc += (v - m) * (v - m);
-  return acc / static_cast<double>(values.size());
+  // Sample (Bessel-corrected) variance: every consumer treats the input
+  // as a sample — TPE's Scott bandwidth, score standardization, the
+  // forest's cross-tree predictive variance — so dividing by n would
+  // systematically understate spread (badly so at the n=2..10 sizes the
+  // tuning loop actually sees).
+  return acc / static_cast<double>(values.size() - 1);
 }
 
 double StdDev(const std::vector<double>& values) {

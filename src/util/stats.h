@@ -9,10 +9,10 @@ namespace dbtune {
 /// Arithmetic mean; 0 for empty input.
 double Mean(const std::vector<double>& values);
 
-/// Population variance; 0 for fewer than two values.
+/// Sample variance (Bessel's n−1 divisor); 0 for fewer than two values.
 double Variance(const std::vector<double>& values);
 
-/// Standard deviation (sqrt of `Variance`).
+/// Sample standard deviation (sqrt of `Variance`).
 double StdDev(const std::vector<double>& values);
 
 /// Linear-interpolated quantile, q in [0, 1]. Requires non-empty input.

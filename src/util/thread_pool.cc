@@ -4,7 +4,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <string>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace dbtune {
@@ -22,7 +25,7 @@ ThreadPool::ThreadPool(size_t size) : size_(std::max<size_t>(1, size)) {
   if (size_ == 1) return;  // sequential fallback: no threads at all
   workers_.reserve(size_);
   for (size_t i = 0; i < size_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -44,14 +47,22 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
+    if (obs::MetricsEnabled()) {
+      static obs::Gauge& depth =
+          obs::MetricsRegistry::Get().gauge("pool.queue_depth");
+      depth.Set(static_cast<double>(queue_.size()));
+    }
   }
   cv_.NotifyOne();
 }
 
 bool ThreadPool::InWorkerThread() const { return t_in_pool_worker; }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker) {
   t_in_pool_worker = true;
+  // Handles are resolved once per worker; recording is lock-free.
+  obs::Gauge& worker_busy = obs::MetricsRegistry::Get().gauge(
+      "pool.worker_busy_seconds." + std::to_string(worker));
   for (;;) {
     std::function<void()> task;
     {
@@ -61,7 +72,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (obs::MetricsEnabled()) {
+      static obs::Counter& executed =
+          obs::MetricsRegistry::Get().counter("pool.tasks_executed");
+      const double start = obs::MonotonicSeconds();
+      task();
+      executed.Increment();
+      worker_busy.Add(obs::MonotonicSeconds() - start);
+    } else {
+      task();
+    }
   }
 }
 

@@ -43,7 +43,7 @@ class ThreadPool {
   bool InWorkerThread() const;
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker);
 
   size_t size_;
   std::vector<std::thread> workers_;

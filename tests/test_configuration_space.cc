@@ -24,6 +24,35 @@ TEST(ConfigurationSpaceTest, DimensionAndLookup) {
   EXPECT_FALSE(space.KnobIndex("nope").ok());
 }
 
+TEST(ConfigurationSpaceTest, KnobIndexFindsEveryKnobInLargeCatalog) {
+  // KnobIndex is map-backed; every knob of the full catalog must resolve
+  // to its own position, and lookups must survive copies of the space.
+  const ConfigurationSpace space = MySqlKnobCatalog();
+  for (size_t i = 0; i < space.dimension(); ++i) {
+    Result<size_t> idx = space.KnobIndex(space.knob(i).name());
+    ASSERT_TRUE(idx.ok()) << space.knob(i).name();
+    EXPECT_EQ(*idx, i);
+  }
+  const ConfigurationSpace copy = space;
+  Result<size_t> idx = copy.KnobIndex(space.knob(0).name());
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 0u);
+  EXPECT_EQ(copy.KnobIndex("definitely_not_a_knob").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ConfigurationSpaceTest, SnapUnitMatchesFromUnitToUnitRoundTrip) {
+  const ConfigurationSpace space = MakeSpace();
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> u(space.dimension());
+    for (double& v : u) v = rng.Uniform();
+    const std::vector<double> snapped = space.SnapUnit(u);
+    const std::vector<double> round_trip = space.ToUnit(space.FromUnit(u));
+    EXPECT_EQ(snapped, round_trip);  // bitwise, not approximate
+  }
+}
+
 TEST(ConfigurationSpaceTest, DefaultConfiguration) {
   const ConfigurationSpace space = MakeSpace();
   const Configuration def = space.Default();

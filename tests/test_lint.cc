@@ -90,6 +90,24 @@ TEST(LintTest, IostreamAllowedInUtilLogging) {
   EXPECT_EQ(CountRule(findings, "iostream"), 0);
 }
 
+TEST(LintTest, RawTimingRuleFires) {
+  const auto findings = LintFile(FixturePath("bad_timing.cc"), "bad_timing.cc");
+  // steady_clock, system_clock, high_resolution_clock; the allow() line
+  // is suppressed.
+  EXPECT_EQ(CountRule(findings, "raw-timing"), 3);
+}
+
+TEST(LintTest, RawTimingAllowedInObsAndBenchUtil) {
+  // src/obs is the sanctioned clock location; bench_util.h wraps
+  // google-benchmark timing.
+  EXPECT_EQ(CountRule(LintFile(FixturePath("bad_timing.cc"), "obs/clock.cc"),
+                      "raw-timing"),
+            0);
+  EXPECT_EQ(CountRule(LintFile(FixturePath("bad_timing.cc"), "bench_util.h"),
+                      "raw-timing"),
+            0);
+}
+
 TEST(LintTest, AllowEscapeHatchSuppressesEveryRule) {
   EXPECT_TRUE(LintFile(FixturePath("allowed.cc"), "allowed.cc").empty());
   EXPECT_TRUE(
@@ -122,6 +140,7 @@ TEST(LintTest, FixtureTreeFindsAllViolations) {
   EXPECT_EQ(CountRule(findings, "using-namespace-std"), 1);
   EXPECT_EQ(CountRule(findings, "include-guard"), 1);
   EXPECT_EQ(CountRule(findings, "iostream"), 1);
+  EXPECT_EQ(CountRule(findings, "raw-timing"), 3);
 }
 
 // The shipped library tree must lint clean — the same invariant the

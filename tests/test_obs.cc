@@ -1,0 +1,350 @@
+// Observability layer: metrics registry, trace spans, session JSONL.
+// The golden tests pin the determinism contract — under the fake clock
+// and a single-lane pool, two same-seed sessions must produce
+// byte-identical session logs and trace files.
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tuning_session.h"
+#include "knobs/catalog.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/session_log.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace dbtune {
+namespace {
+
+// Restores the previous pool size even when an assertion fails.
+class PoolSizeGuard {
+ public:
+  explicit PoolSizeGuard(size_t n)
+      : original_(ExecutionContext::Get().num_threads()) {
+    ExecutionContext::Get().SetNumThreads(n);
+  }
+  ~PoolSizeGuard() { ExecutionContext::Get().SetNumThreads(original_); }
+
+ private:
+  size_t original_;
+};
+
+// Every test starts and ends with observability fully off and empty.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetObsState(); }
+  void TearDown() override { ResetObsState(); }
+
+  static void ResetObsState() {
+    obs::SetMetricsEnabled(false);
+    obs::SetTraceEnabled(false);
+    obs::DisableFakeClockForTest();
+    obs::ClearTrace();
+    obs::MetricsRegistry::Get().Reset();
+  }
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST_F(ObsTest, CounterIncrementsAndSurvivesReset) {
+  obs::Counter& c = obs::MetricsRegistry::Get().counter("test.counter");
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  obs::MetricsRegistry::Get().Reset();
+  // The handle stays valid; only the value is zeroed.
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(&c, &obs::MetricsRegistry::Get().counter("test.counter"));
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  obs::Gauge& g = obs::MetricsRegistry::Get().gauge("test.gauge");
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(0.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST_F(ObsTest, FindDoesNotRegister) {
+  EXPECT_EQ(obs::MetricsRegistry::Get().FindCounter("test.absent"), nullptr);
+  EXPECT_EQ(obs::MetricsRegistry::Get().FindGauge("test.absent"), nullptr);
+  EXPECT_EQ(obs::MetricsRegistry::Get().FindHistogram("test.absent"),
+            nullptr);
+  obs::MetricsRegistry::Get().counter("test.present");
+  EXPECT_NE(obs::MetricsRegistry::Get().FindCounter("test.present"), nullptr);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundsBracketEveryValue) {
+  for (uint64_t nanos : {uint64_t{0}, uint64_t{1}, uint64_t{3}, uint64_t{4},
+                         uint64_t{1000}, uint64_t{999'999},
+                         uint64_t{1'000'000'000}, uint64_t{1} << 40}) {
+    const size_t index = obs::Histogram::BucketIndex(nanos);
+    EXPECT_LE(obs::Histogram::BucketLowerNanos(index), nanos) << nanos;
+    EXPECT_GT(obs::Histogram::BucketLowerNanos(index + 1), nanos) << nanos;
+  }
+  // Buckets are monotone: a larger value never lands in an earlier bucket.
+  size_t previous = 0;
+  for (uint64_t nanos = 1; nanos < (uint64_t{1} << 34); nanos *= 3) {
+    const size_t index = obs::Histogram::BucketIndex(nanos);
+    EXPECT_GE(index, previous);
+    previous = index;
+  }
+}
+
+TEST_F(ObsTest, HistogramPercentilesWithinBucketError) {
+  obs::Histogram h;
+  // 1ms..100ms, uniform: p50 ≈ 50ms, p95 ≈ 95ms, p99 ≈ 99ms. Log-bucket
+  // resolution with 4 sub-buckets per octave bounds relative error by
+  // ~12.5%; allow a slightly wider margin for interpolation.
+  for (int ms = 1; ms <= 100; ++ms) {
+    h.RecordNanos(static_cast<uint64_t>(ms) * 1'000'000);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.sum_seconds(), 5.050, 1e-9);
+  EXPECT_NEAR(h.Percentile(0.50), 0.050, 0.050 * 0.15);
+  EXPECT_NEAR(h.Percentile(0.95), 0.095, 0.095 * 0.15);
+  EXPECT_NEAR(h.Percentile(0.99), 0.099, 0.099 * 0.15);
+  // Degenerate quantiles stay inside the recorded range.
+  EXPECT_GE(h.Percentile(0.0), 0.0);
+  EXPECT_LE(h.Percentile(1.0), 0.100 * 1.15);
+}
+
+TEST_F(ObsTest, EmptyHistogramReportsZero) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST_F(ObsTest, ScopedLatencyRecordsOnlyWhenEnabled) {
+  obs::Histogram& h = obs::MetricsRegistry::Get().histogram("test.latency");
+  {
+    obs::ScopedLatency latency(&h);  // metrics disabled: no-op
+  }
+  EXPECT_EQ(h.count(), 0u);
+  obs::SetMetricsEnabled(true);
+  {
+    obs::ScopedLatency latency(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(ObsTest, RegistryJsonIsSortedAndDeterministic) {
+  // Register in non-alphabetical order; export must sort by name.
+  obs::MetricsRegistry::Get().counter("test.z_counter").Increment(3);
+  obs::MetricsRegistry::Get().counter("test.a_counter").Increment(1);
+  obs::MetricsRegistry::Get().gauge("test.gauge").Set(1.5);
+  obs::MetricsRegistry::Get().histogram("test.hist").RecordNanos(1000);
+  const std::string json = obs::MetricsRegistry::Get().ToJson();
+  EXPECT_EQ(json, obs::MetricsRegistry::Get().ToJson());
+  const size_t a = json.find("\"test.a_counter\":1");
+  const size_t z = json.find("\"test.z_counter\":3");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, z);
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_s\":"), std::string::npos);
+}
+
+TEST_F(ObsTest, FakeClockTicksOneMillisecondPerRead) {
+  obs::EnableFakeClockForTest();
+  ASSERT_TRUE(obs::FakeClockActive());
+  const uint64_t first = obs::MonotonicNanos();
+  const uint64_t second = obs::MonotonicNanos();
+  EXPECT_EQ(second - first, 1'000'000u);
+  obs::EnableFakeClockForTest();  // re-enabling rewinds to zero
+  EXPECT_EQ(obs::MonotonicNanos(), first);
+}
+
+TEST_F(ObsTest, SpanNestingSerializesDeterministically) {
+  obs::EnableFakeClockForTest();
+  obs::SetTraceEnabled(true);
+  {
+    DBTUNE_TRACE_SPAN("outer");
+    {
+      DBTUNE_TRACE_SPAN("inner");
+    }
+  }
+  EXPECT_EQ(obs::TraceEventCount(), 2u);
+  const std::string json = obs::TraceToJson();
+  EXPECT_EQ(json, obs::TraceToJson());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  const size_t outer = json.find("\"name\":\"outer\"");
+  const size_t inner = json.find("\"name\":\"inner\"");
+  ASSERT_NE(outer, std::string::npos);
+  ASSERT_NE(inner, std::string::npos);
+  // Events are sorted by start time: the outer span opened first.
+  EXPECT_LT(outer, inner);
+  obs::ClearTrace();
+  EXPECT_EQ(obs::TraceEventCount(), 0u);
+}
+
+TEST_F(ObsTest, SpansCostNothingWhenDisabled) {
+  {
+    DBTUNE_TRACE_SPAN("invisible");
+  }
+  EXPECT_EQ(obs::TraceEventCount(), 0u);
+}
+
+TEST_F(ObsTest, WriteTraceReportsUnwritablePath) {
+  obs::SetTraceEnabled(true);
+  {
+    DBTUNE_TRACE_SPAN("event");
+  }
+  const Status bad = obs::WriteTrace("/nonexistent-dir-47/trace.json");
+  EXPECT_FALSE(bad.ok());
+  const std::string path = ::testing::TempDir() + "obs_trace_ok.json";
+  EXPECT_TRUE(obs::WriteTrace(path).ok());
+  EXPECT_NE(ReadFile(path).find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(ObsTest, SessionLoggerResolvePathPrefersExplicit) {
+  EXPECT_EQ(obs::SessionLogger::ResolvePath("/tmp/explicit.jsonl"),
+            "/tmp/explicit.jsonl");
+  // Default-constructed logger is off and logging is a no-op.
+  obs::SessionLogger disabled;
+  EXPECT_FALSE(disabled.enabled());
+  disabled.Log(obs::SessionIterationRecord{});
+}
+
+TEST_F(ObsTest, SessionLoggerWritesOneJsonObjectPerLine) {
+  const std::string path = ::testing::TempDir() + "obs_session_unit.jsonl";
+  {
+    obs::SessionLogger logger(path);
+    ASSERT_TRUE(logger.enabled());
+    obs::SessionIterationRecord record;
+    record.iteration = 1;
+    record.suggest_seconds = 0.25;
+    record.score = -3.5;
+    record.best_score = -3.5;
+    logger.Log(record);
+    record.iteration = 2;
+    logger.Log(record);
+  }
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"iter\":"), std::string::npos);
+    // Field order is fixed: iteration first, improvement last.
+    EXPECT_LT(line.find("\"iter\":"), line.find("\"suggest_s\":"));
+    EXPECT_LT(line.find("\"score\":"), line.find("\"improvement_pct\":"));
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+// Concurrent recording: counters and histograms are lock-free and must
+// not lose increments under a parallel fan-out (run under TSan via the
+// `threading` label).
+TEST_F(ObsTest, ConcurrentRecordingLosesNothing) {
+  obs::SetMetricsEnabled(true);
+  PoolSizeGuard guard(8);
+  obs::Counter& counter =
+      obs::MetricsRegistry::Get().counter("test.concurrent.counter");
+  obs::Gauge& gauge =
+      obs::MetricsRegistry::Get().gauge("test.concurrent.gauge");
+  obs::Histogram& histogram =
+      obs::MetricsRegistry::Get().histogram("test.concurrent.hist");
+  const size_t kEvents = 20'000;
+  ParallelFor(GlobalPool(), 0, kEvents, /*grain=*/64,
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  counter.Increment();
+                  gauge.Add(1.0);
+                  histogram.RecordNanos(i);
+                }
+              });
+  EXPECT_EQ(counter.value(), kEvents);
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kEvents));
+  EXPECT_EQ(histogram.count(), kEvents);
+}
+
+std::vector<size_t> FirstKnobs(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+// The acceptance test of the observability layer: same seed + fake clock
+// + single-lane pool → the session log and the trace file are
+// byte-identical across runs.
+TEST_F(ObsTest, SessionLogAndTraceAreByteIdenticalAcrossSameSeedRuns) {
+  PoolSizeGuard guard(1);
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+
+  auto run = [&](const std::string& tag) {
+    // Rewind the fake clock and drop prior events so both runs start
+    // from the identical observability state.
+    obs::EnableFakeClockForTest();
+    obs::ClearTrace();
+    obs::MetricsRegistry::Get().Reset();
+
+    SessionControls controls;
+    controls.session_log_path =
+        ::testing::TempDir() + "obs_golden_" + tag + ".jsonl";
+    controls.trace_path = ::testing::TempDir() + "obs_golden_" + tag + ".trace";
+
+    DbmsSimulator sim(SmallTestCatalog(), WorkloadId::kSysbench,
+                      HardwareInstance::kB, /*seed=*/1);
+    TuningEnvironment env(&sim, FirstKnobs(sim.space().dimension()));
+    OptimizerOptions options;
+    options.seed = 2;
+    std::unique_ptr<Optimizer> optimizer =
+        CreateOptimizer(OptimizerType::kSmac, env.space(), options);
+    const SessionResult result =
+        RunTuningSession(&env, optimizer.get(), /*iterations=*/12, controls);
+    EXPECT_EQ(result.objective_trace.size(), 12u);
+    return std::make_pair(ReadFile(controls.session_log_path),
+                          ReadFile(controls.trace_path));
+  };
+
+  const auto [log_a, trace_a] = run("a");
+  const auto [log_b, trace_b] = run("b");
+
+  ASSERT_FALSE(log_a.empty());
+  ASSERT_FALSE(trace_a.empty());
+  EXPECT_EQ(log_a, log_b);
+  EXPECT_EQ(trace_a, trace_b);
+
+  // Shape checks: 12 JSONL lines, one per iteration; the trace is a
+  // Chrome trace-event document containing the session spans.
+  size_t lines = 0;
+  for (char ch : log_a) lines += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 12u);
+  EXPECT_NE(log_a.find("\"iter\":1,"), std::string::npos);
+  EXPECT_NE(log_a.find("\"iter\":12,"), std::string::npos);
+  EXPECT_NE(trace_a.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_a.find("\"name\":\"session.iteration\""),
+            std::string::npos);
+  EXPECT_NE(trace_a.find("\"name\":\"smac.suggest\""), std::string::npos);
+
+  // Metrics picked up the session too.
+  const obs::Counter* iterations =
+      obs::MetricsRegistry::Get().FindCounter("session.iterations");
+  ASSERT_NE(iterations, nullptr);
+  EXPECT_EQ(iterations->value(), 12u);
+}
+
+}  // namespace
+}  // namespace dbtune

@@ -15,6 +15,8 @@
 #include "optimizer/turbo.h"
 #include "surrogate/gaussian_process.h"
 #include "surrogate/random_forest.h"
+#include "transfer/repository.h"
+#include "transfer/rgpe.h"
 #include "util/matrix.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -182,6 +184,61 @@ TEST(ParallelDeterminismTest, TurboTrajectory) {
     options.seed = 41;
     return std::make_unique<TurboOptimizer>(space, options);
   });
+}
+
+// RGPE's ensemble acquisition scores candidates with ParallelFor across
+// every live base model plus the target model; the whole transfer
+// trajectory must be bit-identical at any pool size.
+TEST(ParallelDeterminismTest, RgpeTrajectory) {
+  // Two source tasks over the shared synthetic truth (peak at 0.8 in dim
+  // 0), one of them inverted so both the high- and near-zero-weight model
+  // paths are exercised.
+  const auto make_repository = [](const ConfigurationSpace& space) {
+    ObservationRepository repo;
+    Rng rng(43);
+    SourceTask helpful, adversarial;
+    helpful.name = "helpful";
+    adversarial.name = "adversarial";
+    for (int i = 0; i < 40; ++i) {
+      std::vector<double> u(space.dimension());
+      for (double& v : u) v = rng.Uniform();
+      const double score = -(u[0] - 0.8) * (u[0] - 0.8);
+      helpful.unit_x.push_back(u);
+      helpful.scores.push_back(score);
+      adversarial.unit_x.push_back(u);
+      adversarial.scores.push_back(-score);
+    }
+    repo.AddTask(helpful);
+    repo.AddTask(adversarial);
+    return repo;
+  };
+
+  auto run = [&](size_t pool_size) {
+    PoolSizeGuard guard(pool_size);
+    const ConfigurationSpace space = MakeContinuousSpace(4);
+    const ObservationRepository repo = make_repository(space);
+    OptimizerOptions options;
+    options.seed = 47;
+    options.initial_design = 5;
+    options.acquisition_candidates = 80;
+    RgpeOptimizer rgpe(space, options, &repo, TransferBase::kSmac);
+    std::vector<double> trace;
+    for (int i = 0; i < 15; ++i) {
+      const Configuration c = rgpe.Suggest();
+      double score = 0.0;
+      for (size_t j = 0; j < c.size(); ++j) {
+        score -= (c[j] - 0.6) * (c[j] - 0.6);
+      }
+      rgpe.Observe(c, score);
+      for (size_t j = 0; j < c.size(); ++j) trace.push_back(c[j]);
+    }
+    for (double w : rgpe.last_weights()) trace.push_back(w);
+    return trace;
+  };
+
+  const std::vector<double> pool1 = run(1);
+  EXPECT_EQ(pool1, run(2));
+  EXPECT_EQ(pool1, run(8));
 }
 
 }  // namespace

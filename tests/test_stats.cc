@@ -10,14 +10,25 @@ namespace {
 TEST(StatsTest, MeanVarianceStdDev) {
   const std::vector<double> v = {1, 2, 3, 4};
   EXPECT_DOUBLE_EQ(Mean(v), 2.5);
-  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
-  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+  // Sample variance (n − 1 divisor): ((1.5² + 0.5²) * 2) / 3 = 5/3.
+  EXPECT_DOUBLE_EQ(Variance(v), 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(5.0 / 3.0));
 }
 
 TEST(StatsTest, EmptyAndSingleton) {
   EXPECT_DOUBLE_EQ(Mean({}), 0.0);
   EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  // n = 1 has no spread information; the n − 1 divisor must not divide
+  // by zero.
   EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+}
+
+TEST(StatsTest, TwoPointSampleVariance) {
+  // n = 2 is the smallest informative sample: deviations ±1 around the
+  // mean 2 give (1 + 1) / (2 − 1) = 2 (the n divisor would say 1).
+  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 3.0}), std::sqrt(2.0));
 }
 
 TEST(StatsTest, QuantileInterpolates) {

@@ -132,6 +132,29 @@ TEST(WorkloadMappingTest, SuggestionsValidForBothBases) {
   }
 }
 
+TEST(RgpeTest, MixtureMeanVarMatchesHandComputedMixture) {
+  // Two-model mixture, hand-computed: w = {0.5, 0.5}, μ = {−1, 1},
+  // σ² = {0.25, 0.25}. Mean = 0.5·(−1) + 0.5·1 = 0. Second moment =
+  // 0.5·(1 + 0.25) + 0.5·(1 + 0.25) = 1.25, so variance = 1.25 − 0² =
+  // 1.25. The pre-fix formula Σ wᵢ²σᵢ² would report 0.125 — it drops the
+  // disagreement between the model means entirely.
+  double mean = 0.0, variance = 0.0;
+  MixtureMeanVar({0.5, 0.5}, {-1.0, 1.0}, {0.25, 0.25}, &mean, &variance);
+  EXPECT_DOUBLE_EQ(mean, 0.0);
+  EXPECT_DOUBLE_EQ(variance, 1.25);
+
+  // Degenerate one-model "mixture" must reduce to that model's moments.
+  MixtureMeanVar({1.0}, {0.7}, {0.09}, &mean, &variance);
+  EXPECT_DOUBLE_EQ(mean, 0.7);
+  EXPECT_NEAR(variance, 0.09, 1e-15);
+
+  // Agreeing means: variance is exactly the weighted within-model
+  // variance (no between-model spread).
+  MixtureMeanVar({0.25, 0.75}, {2.0, 2.0}, {1.0, 0.2}, &mean, &variance);
+  EXPECT_DOUBLE_EQ(mean, 2.0);
+  EXPECT_NEAR(variance, 0.25 * 1.0 + 0.75 * 0.2, 1e-12);
+}
+
 TEST(RgpeTest, DownweightsAdversarialTask) {
   const ConfigurationSpace space = MakeSpace();
   const ObservationRepository repo = MakeRepository(space, 6);

@@ -19,6 +19,11 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 /// Collects the rules suppressed on this line via
 /// `dbtune-lint: allow(<rule>)` (may appear multiple times per line).
 std::set<std::string> ParseAllows(const std::string& raw_line) {
@@ -149,9 +154,9 @@ void Report(const LineContext& ctx, const std::string& rule,
 }
 
 /// Scans one stripped line for identifier-token rules (random-seed,
-/// naked-new, using-namespace-std).
+/// naked-new, using-namespace-std, raw-timing).
 void ScanTokens(const LineContext& ctx, const std::string& stripped,
-                bool random_rules_apply) {
+                bool random_rules_apply, bool timing_rules_apply) {
   size_t i = 0;
   std::vector<std::string> idents;  // in order, for the using-namespace scan
   while (i < stripped.size()) {
@@ -180,6 +185,16 @@ void ScanTokens(const LineContext& ctx, const std::string& stripped,
                "std::random_device is non-deterministic — use the seeded "
                "util/random Rng");
       }
+    }
+
+    if (timing_rules_apply &&
+        (ident == "steady_clock" || ident == "system_clock" ||
+         ident == "high_resolution_clock")) {
+      Report(ctx, "raw-timing",
+             "std::chrono::" + ident +
+                 " read outside src/obs — measure time through obs/clock "
+                 "(MonotonicNanos/MonotonicSeconds) so latencies share one "
+                 "swappable clock and land in the metrics registry");
     }
 
     if (ident == "new") {
@@ -212,6 +227,10 @@ std::vector<Finding> LintSource(const std::string& display_path,
       relpath.size() > 2 && relpath.compare(relpath.size() - 2, 2, ".h") == 0;
   const bool random_rules_apply = !StartsWith(relpath, "util/random");
   const bool iostream_allowed = StartsWith(relpath, "util/logging");
+  // obs/clock is the sanctioned home of std::chrono clocks; bench_util.h
+  // wraps google-benchmark timing helpers.
+  const bool timing_rules_apply =
+      !StartsWith(relpath, "obs/") && !EndsWith(relpath, "bench_util.h");
 
   std::istringstream stream(content);
   std::string raw;
@@ -267,7 +286,7 @@ std::vector<Finding> LintSource(const std::string& display_path,
       continue;  // no token rules on preprocessor lines
     }
 
-    ScanTokens(ctx, stripped, random_rules_apply);
+    ScanTokens(ctx, stripped, random_rules_apply, timing_rules_apply);
   }
 
   if (is_header && !guard_checked) {

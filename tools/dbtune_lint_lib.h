@@ -23,6 +23,11 @@ struct Finding {
 ///   using-namespace-std — `using namespace std` at any scope
 ///   include-guard — header guards must be DBTUNE_<PATH>_H_
 ///   iostream      — no <iostream> in library code outside util/logging
+///   raw-timing    — no std::chrono clock reads (steady_clock,
+///                   system_clock, high_resolution_clock) outside src/obs
+///                   and bench_util.h; timing must flow through obs/clock
+///                   so every latency lands in the metrics registry and
+///                   tests can swap in the deterministic fake clock
 ///
 /// Any rule can be suppressed for one line with a trailing comment:
 ///   ... code ...  // dbtune-lint: allow(<rule>)

@@ -1,0 +1,25 @@
+// Fixture: raw std::chrono clock reads outside src/obs (raw-timing rule).
+
+#include <chrono>
+
+double BadNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long BadWallMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+long BadHighResNanos() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+long AllowedTick() {
+  return std::chrono::steady_clock::now()  // dbtune-lint: allow(raw-timing)
+      .time_since_epoch()
+      .count();
+}
