@@ -13,8 +13,9 @@ namespace dbtune {
 
 GpBoOptimizer::GpBoOptimizer(const ConfigurationSpace& space,
                              OptimizerOptions options,
-                             std::unique_ptr<Kernel> kernel)
-    : Optimizer(space, options), gp_(std::move(kernel)) {}
+                             std::unique_ptr<Kernel> kernel,
+                             GaussianProcessOptions gp_options)
+    : Optimizer(space, options), gp_(std::move(kernel), gp_options) {}
 
 Configuration GpBoOptimizer::Suggest() {
   static obs::Histogram& suggest_hist =
@@ -59,28 +60,27 @@ Configuration GpBoOptimizer::Suggest() {
     candidates.push_back(std::move(u));
   }
 
-  // Candidates are independent GP posterior queries: score them in
-  // parallel, then reduce sequentially so ties keep resolving to the
-  // lowest index regardless of pool size.
-  std::vector<double> ei(candidates.size());
+  // Snap every candidate to the feasible configuration it decodes to
+  // (the GP must judge the point that will actually be evaluated), then
+  // score the whole pool through the batched predict path — one blocked
+  // pass over the factor instead of a posterior query per candidate.
+  // The sequential reduction keeps ties resolving to the lowest index
+  // regardless of pool size.
+  std::vector<std::vector<double>> snapped(candidates.size());
   ParallelFor(GlobalPool(), 0, candidates.size(), /*grain=*/16,
               [&](size_t begin, size_t end) {
                 for (size_t c = begin; c < end; ++c) {
-                  // Snap to a feasible configuration before scoring: the
-                  // GP must judge the point that will actually be
-                  // evaluated.
-                  const Configuration config = space_.FromUnit(candidates[c]);
-                  const std::vector<double> u = space_.ToUnit(config);
-                  double mean = 0.0, var = 0.0;
-                  gp_.PredictMeanVar(u, &mean, &var);
-                  ei[c] = ExpectedImprovement(mean, var, best);
+                  snapped[c] = space_.SnapUnit(candidates[c]);
                 }
               });
+  std::vector<double> means, variances;
+  gp_.PredictMeanVarBatch(snapped, &means, &variances);
   double best_ei = -1.0;
   size_t best_candidate = 0;
   for (size_t c = 0; c < candidates.size(); ++c) {
-    if (ei[c] > best_ei) {
-      best_ei = ei[c];
+    const double ei = ExpectedImprovement(means[c], variances[c], best);
+    if (ei > best_ei) {
+      best_ei = ei;
       best_candidate = c;
     }
   }

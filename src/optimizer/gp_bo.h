@@ -14,9 +14,11 @@ namespace dbtune {
 /// only choose the kernel.
 class GpBoOptimizer : public Optimizer {
  public:
-  /// Takes ownership of the kernel.
+  /// Takes ownership of the kernel. `gp_options` tunes the surrogate
+  /// (tests use it to compare the incremental and full fit paths).
   GpBoOptimizer(const ConfigurationSpace& space, OptimizerOptions options,
-                std::unique_ptr<Kernel> kernel);
+                std::unique_ptr<Kernel> kernel,
+                GaussianProcessOptions gp_options = {});
 
   Configuration Suggest() override;
 

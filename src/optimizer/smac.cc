@@ -91,21 +91,28 @@ Configuration SmacOptimizer::Suggest() {
   }
 
   auto ei_of = [&](const std::vector<double>& unit) {
-    const Configuration config = space_.FromUnit(unit);
-    const std::vector<double> u = space_.ToUnit(config);
     double mean = 0.0, var = 0.0;
-    forest_.PredictMeanVar(u, &mean, &var);
+    forest_.PredictMeanVar(space_.SnapUnit(unit), &mean, &var);
     return ExpectedImprovement(mean, var, best);
   };
 
-  // The candidate pool is scored in parallel (independent forest
-  // queries); the hill climb below stays sequential because each probe
-  // depends on the previous accept/reject decision and the shared RNG.
-  std::vector<double> ei(candidates.size());
+  // The candidate pool is scored through the batched predict path
+  // (parallel, independent forest queries); the hill climb below stays
+  // sequential because each probe depends on the previous accept/reject
+  // decision and the shared RNG.
+  std::vector<std::vector<double>> snapped(candidates.size());
   ParallelFor(GlobalPool(), 0, candidates.size(), /*grain=*/16,
               [&](size_t begin, size_t end) {
-                for (size_t c = begin; c < end; ++c) ei[c] = ei_of(candidates[c]);
+                for (size_t c = begin; c < end; ++c) {
+                  snapped[c] = space_.SnapUnit(candidates[c]);
+                }
               });
+  std::vector<double> means, variances;
+  forest_.PredictMeanVarBatch(snapped, &means, &variances);
+  std::vector<double> ei(candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    ei[c] = ExpectedImprovement(means[c], variances[c], best);
+  }
 
   // Hill-climb from the most promising candidates (SMAC's local search):
   // fine-grained neighbours around the top EI points.

@@ -130,18 +130,12 @@ Configuration TurboOptimizer::Suggest() {
       units[c] = std::move(u);
       normals[c] = rng_.Gaussian();
     }
-    std::vector<double> samples(num_candidates);
-    ParallelFor(GlobalPool(), 0, num_candidates, /*grain=*/16,
-                [&](size_t begin, size_t end) {
-                  for (size_t c = begin; c < end; ++c) {
-                    double mean = 0.0, var = 0.0;
-                    gp.PredictMeanVar(units[c], &mean, &var);
-                    samples[c] = mean + std::sqrt(var) * normals[c];
-                  }
-                });
+    std::vector<double> means, variances;
+    gp.PredictMeanVarBatch(units, &means, &variances);
     for (size_t c = 0; c < num_candidates; ++c) {
-      if (samples[c] > best_sample) {
-        best_sample = samples[c];
+      const double sample = means[c] + std::sqrt(variances[c]) * normals[c];
+      if (sample > best_sample) {
+        best_sample = sample;
         best_unit = units[c];
         best_region = static_cast<int>(r);
       }

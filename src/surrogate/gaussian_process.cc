@@ -1,6 +1,7 @@
 #include "surrogate/gaussian_process.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,9 +19,8 @@ GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel,
   DBTUNE_CHECK(!options_.noise_grid.empty());
 }
 
-Result<double> GaussianProcess::FitWith(double lengthscale, double noise) {
+Matrix GaussianProcess::AssembleKernelMatrix() const {
   const size_t n = x_.size();
-  kernel_->set_lengthscale(lengthscale);
   Matrix k(n, n);
   // Row i fills k(i, i..n) and mirrors into k(i..n, i): each (i, j) pair
   // is owned by exactly one i, so rows parallelize without overlap. The
@@ -34,6 +34,13 @@ Result<double> GaussianProcess::FitWith(double lengthscale, double noise) {
       }
     }
   });
+  return k;
+}
+
+Result<double> GaussianProcess::FactorizeWith(const Matrix& k_base,
+                                              double noise, FitState* state) {
+  const size_t n = x_.size();
+  Matrix k = k_base;
   k.AddDiagonal(noise + 1e-10);
   DBTUNE_RETURN_IF_ERROR(CholeskyFactorize(&k));
   // alpha = K^-1 y via two triangular solves.
@@ -44,9 +51,78 @@ Result<double> GaussianProcess::FitWith(double lengthscale, double noise) {
   for (size_t i = 0; i < n; ++i) lml -= std::log(k(i, i));
   lml -= 0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
 
-  chol_ = std::move(k);
-  alpha_ = std::move(alpha);
+  state->chol = std::move(k);
+  state->alpha = std::move(alpha);
+  return lml;
+}
+
+Result<double> GaussianProcess::FitWith(double lengthscale, double noise) {
+  kernel_->set_lengthscale(lengthscale);
+  FitState state;
+  DBTUNE_ASSIGN_OR_RETURN(const double lml,
+                          FactorizeWith(AssembleKernelMatrix(), noise,
+                                        &state));
+  chol_ = std::move(state.chol);
+  alpha_ = std::move(state.alpha);
   noise_ = noise;
+  factor_cached_ = true;
+  return lml;
+}
+
+Result<double> GaussianProcess::FitIncremental(size_t old_n) {
+  static obs::Histogram& incremental_hist =
+      obs::MetricsRegistry::Get().histogram("gp.fit.incremental");
+  obs::ScopedLatency incremental_latency(&incremental_hist);
+  const size_t n = x_.size();
+  // Grow the factor: the leading old_n x old_n block of L depends only on
+  // the leading block of K, so it is copied verbatim (new columns stay
+  // zero, matching the zeroed upper triangle of CholeskyFactorize).
+  Matrix l(n, n, 0.0);
+  for (size_t r = 0; r < old_n; ++r) {
+    std::memcpy(l.RowPtr(r), chol_.RowPtr(r), old_n * sizeof(double));
+  }
+  const double diagonal_jitter = noise_ + 1e-10;  // AddDiagonal's addend
+  for (size_t i = old_n; i < n; ++i) {
+    double* row_i = l.RowPtr(i);
+    // Border of the Gram matrix: k(j, i) for j < i, computed in the
+    // argument order the full assembly uses (row j owns pair (j, i)), so
+    // the appended values are bitwise those of a from-scratch build.
+    ParallelFor(GlobalPool(), 0, i, /*grain=*/64,
+                [&](size_t begin, size_t end) {
+                  for (size_t j = begin; j < end; ++j) {
+                    row_i[j] = kernel_->Compute(x_[j], x_[i]);
+                  }
+                });
+    row_i[i] = kernel_->Compute(x_[i], x_[i]) + diagonal_jitter;
+    // Forward-solve the new row against the existing factor; identical
+    // inner-loop order to CholeskyFactorize, so the extended factor is
+    // bitwise what a full refactorization would produce.
+    for (size_t j = 0; j < i; ++j) {
+      const double* row_j = l.RowPtr(j);
+      double s = row_i[j];
+      for (size_t k = 0; k < j; ++k) s -= row_i[k] * row_j[k];
+      row_i[j] = s / row_j[j];
+    }
+    double d = row_i[i];
+    for (size_t k = 0; k < i; ++k) d -= row_i[k] * row_i[k];
+    if (d <= 0.0 || !std::isfinite(d)) {
+      return Status::Internal("matrix is not positive definite");
+    }
+    row_i[i] = std::sqrt(d);
+  }
+
+  // Targets are re-standardized every fit, so alpha and the LML are
+  // recomputed from scratch — O(n^2), same arithmetic as FactorizeWith.
+  std::vector<double> tmp = SolveLowerTriangular(l, y_standardized_);
+  std::vector<double> alpha = SolveUpperTriangularFromLower(l, tmp);
+
+  double lml = -0.5 * Dot(y_standardized_, alpha);
+  for (size_t i = 0; i < n; ++i) lml -= std::log(l(i, i));
+  lml -= 0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+
+  chol_ = std::move(l);
+  alpha_ = std::move(alpha);
+  factor_cached_ = true;
   return lml;
 }
 
@@ -57,6 +133,20 @@ Status GaussianProcess::Fit(const FeatureMatrix& x,
   obs::ScopedLatency fit_latency(&fit_hist);
   DBTUNE_TRACE_SPAN("gp.fit");
   DBTUNE_RETURN_IF_ERROR(ValidateTrainingData(x, y));
+
+  // Does the new training set extend the previous one (same rows plus
+  // appended ones)? Decides both the incremental-append eligibility and
+  // the hyper-parameter staleness reset below; compared bitwise before
+  // x_ is overwritten.
+  const size_t old_n = x_.size();
+  bool extends_history = fitted_ && x.size() >= old_n && old_n > 0 &&
+                         x.front().size() == x_.front().size();
+  for (size_t r = 0; extends_history && r < old_n; ++r) {
+    extends_history = x[r] == x_[r];
+  }
+  const bool can_append = extends_history && factor_cached_;
+  factor_cached_ = false;  // re-established only by a successful fit
+
   x_ = x;
   y_mean_ = Mean(y);
   y_scale_ = StdDev(y);
@@ -66,11 +156,26 @@ Status GaussianProcess::Fit(const FeatureMatrix& x,
     y_standardized_[i] = (y[i] - y_mean_) / y_scale_;
   }
 
+  // A shrunk or wholesale-replaced training set invalidates the cached
+  // hyper-parameters along with the factor (e.g. a TuRBO restart must
+  // not inherit a dead trust region's lengthscale): force a fresh grid
+  // search instead of trusting the stale schedule.
+  if (fitted_ && !extends_history) fits_since_hyperopt_ = 0;
+
   const bool do_hyperopt = !fitted_ || fits_since_hyperopt_ == 0;
   fits_since_hyperopt_ =
       (fits_since_hyperopt_ + 1) % std::max<size_t>(1, options_.hyperopt_every);
 
   if (!do_hyperopt) {
+    if (options_.enable_incremental && can_append) {
+      Result<double> lml = FitIncremental(old_n);
+      if (lml.ok()) {
+        lml_ = *lml;
+        fitted_ = true;
+        return Status::OK();
+      }
+      // Failed pivot: fall through to the full refactorization.
+    }
     Result<double> lml = FitWith(kernel_->lengthscale(), noise_);
     if (lml.ok()) {
       lml_ = *lml;
@@ -80,24 +185,39 @@ Status GaussianProcess::Fit(const FeatureMatrix& x,
     // Fall through to a full search when the cached choice fails.
   }
 
+  // Grid sweep with a Gram cache: K depends on the lengthscale only, so
+  // it is assembled once per lengthscale and shared across the noise
+  // grid (the noise enters through the diagonal of the copy inside
+  // FactorizeWith). The winning factorization is kept and installed at
+  // the end — no redundant final refit of the best grid point.
   double best_lml = -1e300;
   double best_ls = options_.lengthscale_grid.front();
   double best_noise = options_.noise_grid.front();
+  FitState best_state;
   bool any = false;
   for (double ls : options_.lengthscale_grid) {
+    kernel_->set_lengthscale(ls);
+    const Matrix k_base = AssembleKernelMatrix();
     for (double noise : options_.noise_grid) {
-      Result<double> lml = FitWith(ls, noise);
+      FitState state;
+      Result<double> lml = FactorizeWith(k_base, noise, &state);
       if (!lml.ok()) continue;
       if (!any || *lml > best_lml) {
         any = true;
         best_lml = *lml;
         best_ls = ls;
         best_noise = noise;
+        best_state = std::move(state);
       }
     }
   }
   if (!any) return Status::Internal("GP fit failed for all hyper-parameters");
-  DBTUNE_ASSIGN_OR_RETURN(lml_, FitWith(best_ls, best_noise));
+  kernel_->set_lengthscale(best_ls);
+  chol_ = std::move(best_state.chol);
+  alpha_ = std::move(best_state.alpha);
+  noise_ = best_noise;
+  lml_ = best_lml;
+  factor_cached_ = true;
   fitted_ = true;
   return Status::OK();
 }
@@ -117,7 +237,14 @@ void GaussianProcess::PredictMeanVar(const std::vector<double>& x,
       obs::MetricsRegistry::Get().histogram("gp.predict");
   obs::ScopedLatency predict_latency(&predict_hist);
   const size_t n = x_.size();
-  std::vector<double> k_star(n);
+  // Per-thread scratch: the caller's buffers outlive the blocking
+  // ParallelFor below, so pool workers writing disjoint chunks through
+  // the captured reference never dangle (each calling thread owns its
+  // own pair, so concurrent callers from the acquisition loops are
+  // isolated too).
+  static thread_local std::vector<double> k_star;
+  static thread_local std::vector<double> v;
+  k_star.resize(n);
   ParallelFor(GlobalPool(), 0, n, /*grain=*/64,
               [&](size_t begin, size_t end) {
                 for (size_t i = begin; i < end; ++i) {
@@ -127,12 +254,80 @@ void GaussianProcess::PredictMeanVar(const std::vector<double>& x,
 
   double mu = Dot(k_star, alpha_);
   // v = L^-1 k_star; var = k(x,x) - v'v.
-  std::vector<double> v = SolveLowerTriangular(chol_, k_star);
+  SolveLowerTriangularInto(chol_, k_star, &v);
   double var = kernel_->Compute(x, x) - Dot(v, v);
   if (var < 1e-12) var = 1e-12;
 
   *mean = mu * y_scale_ + y_mean_;
   *variance = var * y_scale_ * y_scale_;
+}
+
+void GaussianProcess::PredictMeanVarBatch(
+    const FeatureMatrix& xs, std::vector<double>* means,
+    std::vector<double>* variances) const {
+  DBTUNE_CHECK_MSG(fitted_, "Predict before Fit");
+  static obs::Histogram& batch_hist =
+      obs::MetricsRegistry::Get().histogram("gp.predict.batch");
+  obs::ScopedLatency batch_latency(&batch_hist);
+  const size_t n = x_.size();
+  means->resize(xs.size());
+  variances->resize(xs.size());
+  // Queries are processed in blocks of kBlock as a multi-RHS triangular
+  // solve: K* and V are laid out i-major (query-minor), so each factor
+  // row is streamed once per block and the innermost loops run across the
+  // block's independent accumulators (SIMD-friendly without FP
+  // reassociation). Every query keeps the scalar path's summation order
+  // exactly — k ascending in the solve, i ascending in the dots — so
+  // results are bitwise equal to PredictMeanVar at any pool size.
+  constexpr size_t kBlock = 16;
+  ParallelFor(
+      GlobalPool(), 0, xs.size(), /*grain=*/kBlock,
+      [&](size_t begin, size_t end) {
+        std::vector<double> k_block(n * kBlock);  // K*(i, r), i-major
+        std::vector<double> v_block(n * kBlock);  // (L^-1 K*)(i, r), i-major
+        for (size_t b = begin; b < end; b += kBlock) {
+          const size_t m = std::min(kBlock, end - b);
+          for (size_t i = 0; i < n; ++i) {
+            double* ki = k_block.data() + i * m;
+            for (size_t r = 0; r < m; ++r) {
+              ki[r] = kernel_->Compute(x_[i], xs[b + r]);
+            }
+          }
+          double acc[kBlock];
+          for (size_t i = 0; i < n; ++i) {
+            const double* lrow = chol_.RowPtr(i);
+            const double* ki = k_block.data() + i * m;
+            for (size_t r = 0; r < m; ++r) acc[r] = ki[r];
+            for (size_t k = 0; k < i; ++k) {
+              const double lik = lrow[k];
+              const double* vk = v_block.data() + k * m;
+              for (size_t r = 0; r < m; ++r) acc[r] -= lik * vk[r];
+            }
+            double* vi = v_block.data() + i * m;
+            const double diag = lrow[i];
+            for (size_t r = 0; r < m; ++r) vi[r] = acc[r] / diag;
+          }
+          double mu[kBlock], vv[kBlock];
+          for (size_t r = 0; r < m; ++r) mu[r] = 0.0;
+          for (size_t r = 0; r < m; ++r) vv[r] = 0.0;
+          for (size_t i = 0; i < n; ++i) {
+            const double* ki = k_block.data() + i * m;
+            const double* vi = v_block.data() + i * m;
+            const double ai = alpha_[i];
+            for (size_t r = 0; r < m; ++r) {
+              mu[r] += ki[r] * ai;
+              vv[r] += vi[r] * vi[r];
+            }
+          }
+          for (size_t r = 0; r < m; ++r) {
+            const std::vector<double>& xq = xs[b + r];
+            double var = kernel_->Compute(xq, xq) - vv[r];
+            if (var < 1e-12) var = 1e-12;
+            (*means)[b + r] = mu[r] * y_scale_ + y_mean_;
+            (*variances)[b + r] = var * y_scale_ * y_scale_;
+          }
+        }
+      });
 }
 
 }  // namespace dbtune

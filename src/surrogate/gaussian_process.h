@@ -20,11 +20,20 @@ struct GaussianProcessOptions {
   /// between, reuse the last selected hyper-parameters (keeps the cubic
   /// cost of iterative BO in check). 1 = always.
   size_t hyperopt_every = 5;
+  /// Extend the cached Cholesky factor by bordered append when a
+  /// non-hyperopt `Fit` receives the previous training set plus new rows
+  /// (O(n^2) instead of O(n^3); bit-identical to a full refit). Off is
+  /// only useful as a baseline for benchmarks and equivalence tests.
+  bool enable_incremental = true;
 };
 
 /// Gaussian-process regression (Eq. 3 of the paper) with a pluggable
 /// kernel and grid-searched hyper-parameters. Targets are standardized
 /// internally; predictive variance is reported in original units.
+///
+/// Sequential fits are incremental: see DESIGN.md §8 for the cache
+/// state machine (when the bordered append applies, when it falls back
+/// to a full refactorization).
 class GaussianProcess final : public Regressor {
  public:
   /// Takes ownership of `kernel`.
@@ -35,6 +44,12 @@ class GaussianProcess final : public Regressor {
   double Predict(const std::vector<double>& x) const override;
   void PredictMeanVar(const std::vector<double>& x, double* mean,
                       double* variance) const override;
+  /// Matrix-level batched prediction: assembles K* and runs the
+  /// triangular solves per query chunk with reused scratch, bit-identical
+  /// to the scalar path at any pool size.
+  void PredictMeanVarBatch(const FeatureMatrix& xs,
+                           std::vector<double>* means,
+                           std::vector<double>* variances) const override;
   std::string name() const override { return "GP-" + kernel_->name(); }
 
   /// Log marginal likelihood of the current fit (standardized targets).
@@ -42,9 +57,34 @@ class GaussianProcess final : public Regressor {
   const Kernel& kernel() const { return *kernel_; }
   size_t num_observations() const { return x_.size(); }
 
+  /// Fitted noise variance and factorization internals, exposed so the
+  /// incremental-fit tests can assert bitwise equality against a full
+  /// refactorization.
+  double noise() const { return noise_; }
+  const Matrix& cholesky_factor() const { return chol_; }
+  const std::vector<double>& alpha() const { return alpha_; }
+
  private:
-  /// Builds K + noise*I, factorizes, computes alpha; returns the LML.
+  /// A candidate factorization produced during the hyper-parameter grid
+  /// sweep; the winner is installed wholesale instead of re-fitting.
+  struct FitState {
+    Matrix chol;
+    std::vector<double> alpha;
+  };
+
+  /// Assembles K (no noise diagonal) at the kernel's current lengthscale.
+  Matrix AssembleKernelMatrix() const;
+  /// Copies `k_base`, adds the noise diagonal, factorizes, and computes
+  /// alpha; returns the LML. Does not touch member state.
+  Result<double> FactorizeWith(const Matrix& k_base, double noise,
+                               FitState* state);
+  /// Builds K + noise*I, factorizes, computes alpha, installs the result
+  /// into member state; returns the LML.
   Result<double> FitWith(double lengthscale, double noise);
+  /// Extends the cached factor with rows [old_n, x_.size()) by bordered
+  /// Cholesky append, then recomputes alpha/LML (the targets are
+  /// re-standardized every fit). Fails when a pivot is not positive.
+  Result<double> FitIncremental(size_t old_n);
 
   std::unique_ptr<Kernel> kernel_;
   GaussianProcessOptions options_;
@@ -60,6 +100,10 @@ class GaussianProcess final : public Regressor {
   double lml_ = 0.0;
   size_t fits_since_hyperopt_ = 0;
   bool fitted_ = false;
+  // True only when chol_/alpha_ match x_ and the kernel's current
+  // hyper-parameters (i.e. the last Fit succeeded); cleared on entry to
+  // Fit so a failed fit can never seed an incremental append.
+  bool factor_cached_ = false;
 };
 
 }  // namespace dbtune

@@ -1,6 +1,21 @@
 #include "surrogate/regressor.h"
 
+#include "util/thread_pool.h"
+
 namespace dbtune {
+
+void Regressor::PredictMeanVarBatch(const FeatureMatrix& xs,
+                                    std::vector<double>* means,
+                                    std::vector<double>* variances) const {
+  means->resize(xs.size());
+  variances->resize(xs.size());
+  ParallelFor(GlobalPool(), 0, xs.size(), /*grain=*/16,
+              [&](size_t begin, size_t end) {
+                for (size_t q = begin; q < end; ++q) {
+                  PredictMeanVar(xs[q], &(*means)[q], &(*variances)[q]);
+                }
+              });
+}
 
 Status ValidateTrainingData(const FeatureMatrix& x,
                             const std::vector<double>& y) {

@@ -35,6 +35,18 @@ class Regressor {
     *variance = 0.0;
   }
 
+  /// Predictive mean and variance for a batch of queries; `means` and
+  /// `variances` are resized to `xs.size()`. The default scores queries
+  /// through `PredictMeanVar` in parallel (each query writes only its own
+  /// slot, so results are bit-identical to the scalar loop at any pool
+  /// size); models with a cheaper matrix-level path override it.
+  /// Acquisition loops must use this entry point rather than calling the
+  /// scalar `PredictMeanVar` per candidate (enforced by dbtune-lint in
+  /// src/optimizer/).
+  virtual void PredictMeanVarBatch(const FeatureMatrix& xs,
+                                   std::vector<double>* means,
+                                   std::vector<double>* variances) const;
+
   /// Short model name for reports ("RF", "GB", ...).
   virtual std::string name() const = 0;
 };

@@ -105,17 +105,19 @@ Configuration RgpeOptimizer::Suggest() {
 
   std::vector<double> weights(models.size(), 0.0);
   if (points.size() >= 3) {
-    // Cache each model's predictive mean/sd at the ranking points.
+    // Cache each model's predictive mean/sd at the ranking points, one
+    // batched pass per model.
+    FeatureMatrix rank_x;
+    rank_x.reserve(points.size());
+    for (size_t p : points) rank_x.push_back(unit_history_[p]);
     std::vector<std::vector<double>> means(models.size()),
         sds(models.size());
     for (size_t m = 0; m < models.size(); ++m) {
-      means[m].resize(points.size());
+      std::vector<double> variances;
+      models[m]->PredictMeanVarBatch(rank_x, &means[m], &variances);
       sds[m].resize(points.size());
       for (size_t p = 0; p < points.size(); ++p) {
-        double mean = 0.0, var = 0.0;
-        models[m]->PredictMeanVar(unit_history_[points[p]], &mean, &var);
-        means[m][p] = mean;
-        sds[m][p] = std::sqrt(std::max(var, 1e-12));
+        sds[m][p] = std::sqrt(std::max(variances[p], 1e-12));
       }
     }
     for (size_t s = 0; s < rgpe_options_.weight_samples; ++s) {
@@ -182,30 +184,39 @@ Configuration RgpeOptimizer::Suggest() {
     }
   }
 
-  // Score candidates in parallel. Each index writes only ei[c], and
-  // SnapUnit replaces the old FromUnit/ToUnit round-trip (bitwise equal,
-  // no Configuration materialized), so scores are bit-identical at any
-  // pool size.
-  std::vector<double> ei(candidates.size(), 0.0);
+  // Snap the pool once (bitwise equal to the FromUnit/ToUnit round-trip,
+  // no Configuration materialized), then run one batched predict per
+  // active model — the parallelism lives inside PredictMeanVarBatch,
+  // where each query writes only its own slot, so the mixture inputs are
+  // bit-identical at any pool size. The cheap per-candidate mixture and
+  // EI reduction stays sequential, resolving ties to the lowest index.
+  std::vector<std::vector<double>> snapped(candidates.size());
   ParallelFor(GlobalPool(), 0, candidates.size(), /*grain=*/16,
-              [&](size_t chunk_begin, size_t chunk_end) {
-                std::vector<double> mus(active.size());
-                std::vector<double> vars(active.size());
-                for (size_t c = chunk_begin; c < chunk_end; ++c) {
-                  const std::vector<double> u = space_.SnapUnit(candidates[c]);
-                  for (size_t k = 0; k < active.size(); ++k) {
-                    models[active[k]]->PredictMeanVar(u, &mus[k], &vars[k]);
-                  }
-                  double mean = 0.0, var = 0.0;
-                  MixtureMeanVar(active_weights, mus, vars, &mean, &var);
-                  ei[c] = ExpectedImprovement(mean, var, best);
+              [&](size_t begin, size_t end) {
+                for (size_t c = begin; c < end; ++c) {
+                  snapped[c] = space_.SnapUnit(candidates[c]);
                 }
               });
+  std::vector<std::vector<double>> model_means(active.size()),
+      model_vars(active.size());
+  for (size_t k = 0; k < active.size(); ++k) {
+    models[active[k]]->PredictMeanVarBatch(snapped, &model_means[k],
+                                           &model_vars[k]);
+  }
   double best_ei = -1.0;
   size_t best_candidate = 0;
+  std::vector<double> mus(active.size());
+  std::vector<double> vars(active.size());
   for (size_t c = 0; c < candidates.size(); ++c) {
-    if (ei[c] > best_ei) {
-      best_ei = ei[c];
+    for (size_t k = 0; k < active.size(); ++k) {
+      mus[k] = model_means[k][c];
+      vars[k] = model_vars[k][c];
+    }
+    double mean = 0.0, var = 0.0;
+    MixtureMeanVar(active_weights, mus, vars, &mean, &var);
+    const double ei = ExpectedImprovement(mean, var, best);
+    if (ei > best_ei) {
+      best_ei = ei;
       best_candidate = c;
     }
   }

@@ -9,6 +9,7 @@
 #include "surrogate/random_forest.h"
 #include "util/logging.h"
 #include "util/matrix.h"
+#include "util/thread_pool.h"
 
 namespace dbtune {
 
@@ -121,14 +122,22 @@ Configuration WorkloadMappingOptimizer::Suggest() {
       BuildAcquisitionCandidates(space_, rng_, unit_history_,
                                  StandardizeScores(scores_),
                                  options_.acquisition_candidates);
+  // Snap the pool (bitwise equal to the old FromUnit/ToUnit round-trip)
+  // and score it in one batched pass; the reduction stays sequential so
+  // ties resolve to the lowest index at any pool size.
+  std::vector<std::vector<double>> snapped(candidates.size());
+  ParallelFor(GlobalPool(), 0, candidates.size(), /*grain=*/16,
+              [&](size_t begin, size_t end) {
+                for (size_t c = begin; c < end; ++c) {
+                  snapped[c] = space_.SnapUnit(candidates[c]);
+                }
+              });
+  std::vector<double> means, variances;
+  surrogate->PredictMeanVarBatch(snapped, &means, &variances);
   double best_ei = -1.0;
   size_t best_candidate = 0;
   for (size_t c = 0; c < candidates.size(); ++c) {
-    const Configuration config = space_.FromUnit(candidates[c]);
-    const std::vector<double> u = space_.ToUnit(config);
-    double mean = 0.0, var = 0.0;
-    surrogate->PredictMeanVar(u, &mean, &var);
-    const double ei = ExpectedImprovement(mean, var, target_best);
+    const double ei = ExpectedImprovement(means[c], variances[c], target_best);
     if (ei > best_ei) {
       best_ei = ei;
       best_candidate = c;

@@ -123,15 +123,24 @@ Status CholeskyFactorize(Matrix* a) {
 
 std::vector<double> SolveLowerTriangular(const Matrix& l,
                                          const std::vector<double>& b) {
+  std::vector<double> x;
+  SolveLowerTriangularInto(l, b, &x);
+  return x;
+}
+
+void SolveLowerTriangularInto(const Matrix& l, const std::vector<double>& b,
+                              std::vector<double>* x) {
+  DBTUNE_CHECK(x != nullptr && x != &b);
   DBTUNE_CHECK(l.rows() == l.cols() && l.rows() == b.size());
   const size_t n = b.size();
-  std::vector<double> x(n, 0.0);
+  x->resize(n);
+  std::vector<double>& out = *x;
   for (size_t i = 0; i < n; ++i) {
     double s = b[i];
-    for (size_t k = 0; k < i; ++k) s -= l(i, k) * x[k];
-    x[i] = s / l(i, i);
+    const double* row = l.RowPtr(i);
+    for (size_t k = 0; k < i; ++k) s -= row[k] * out[k];
+    out[i] = s / row[i];
   }
-  return x;
 }
 
 std::vector<double> SolveUpperTriangularFromLower(

@@ -73,6 +73,12 @@ class Matrix {
 std::vector<double> SolveLowerTriangular(const Matrix& l,
                                          const std::vector<double>& b);
 
+/// As `SolveLowerTriangular`, writing into caller-owned storage (resized
+/// to `b.size()`); `x` must not alias `b`. Identical arithmetic order, so
+/// results are bitwise equal to the allocating variant.
+void SolveLowerTriangularInto(const Matrix& l, const std::vector<double>& b,
+                              std::vector<double>* x);
+
 /// Solves L^T * x = b for lower-triangular L (back substitution).
 std::vector<double> SolveUpperTriangularFromLower(const Matrix& l,
                                                   const std::vector<double>& b);

@@ -1,0 +1,262 @@
+// The incremental-fit contract of the GP surrogate: a bordered Cholesky
+// append must be bitwise indistinguishable from a full refactorization —
+// factor, alpha, and log marginal likelihood — at any pool size, and the
+// cache must fall back (and forget stale hyper-parameters) whenever the
+// training set stops being an extension of the previous one.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "surrogate/gaussian_process.h"
+#include "surrogate/random_forest.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace dbtune {
+namespace {
+
+// Restores the previous pool size even when an assertion fails.
+class PoolSizeGuard {
+ public:
+  explicit PoolSizeGuard(size_t n)
+      : original_(ExecutionContext::Get().num_threads()) {
+    ExecutionContext::Get().SetNumThreads(n);
+  }
+  ~PoolSizeGuard() { ExecutionContext::Get().SetNumThreads(original_); }
+
+ private:
+  size_t original_;
+};
+
+FeatureMatrix MakeInputs(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  FeatureMatrix x(n, std::vector<double>(d));
+  for (auto& row : x) {
+    for (double& v : row) v = rng.Uniform();
+  }
+  return x;
+}
+
+std::vector<double> MakeTargets(const FeatureMatrix& x) {
+  std::vector<double> y;
+  y.reserve(x.size());
+  for (const auto& row : x) {
+    double s = 0.0;
+    for (size_t j = 0; j < row.size(); ++j) {
+      s += std::sin(3.0 * row[j]) * static_cast<double>(j + 1);
+    }
+    y.push_back(s);
+  }
+  return y;
+}
+
+GaussianProcessOptions NoHyperoptRefresh(bool incremental) {
+  GaussianProcessOptions options;
+  options.hyperopt_every = 1000;  // grid search on the first fit only
+  options.enable_incremental = incremental;
+  return options;
+}
+
+uint64_t IncrementalFitCount() {
+  const obs::Histogram* hist =
+      obs::MetricsRegistry::Get().FindHistogram("gp.fit.incremental");
+  return hist == nullptr ? 0 : hist->count();
+}
+
+// Fits both GPs on a growing prefix of (x, y), appending `step` rows per
+// round, and asserts factor, alpha, noise, and LML stay bitwise equal.
+void ExpectIdenticalFitSequence(GaussianProcess* incremental,
+                                GaussianProcess* full,
+                                const FeatureMatrix& x,
+                                const std::vector<double>& y, size_t start,
+                                size_t step) {
+  for (size_t n = start; n <= x.size(); n += step) {
+    const FeatureMatrix head_x(x.begin(), x.begin() + n);
+    const std::vector<double> head_y(y.begin(), y.begin() + n);
+    ASSERT_TRUE(incremental->Fit(head_x, head_y).ok());
+    ASSERT_TRUE(full->Fit(head_x, head_y).ok());
+    EXPECT_EQ(incremental->log_marginal_likelihood(),
+              full->log_marginal_likelihood());
+    EXPECT_EQ(incremental->noise(), full->noise());
+    EXPECT_EQ(incremental->kernel().lengthscale(),
+              full->kernel().lengthscale());
+    EXPECT_EQ(incremental->alpha(), full->alpha());
+    EXPECT_EQ(incremental->cholesky_factor().data(),
+              full->cholesky_factor().data());
+  }
+}
+
+TEST(GpIncrementalTest, BorderedAppendMatchesFullRefactorization) {
+  const FeatureMatrix x = MakeInputs(48, 5, 11);
+  const std::vector<double> y = MakeTargets(x);
+  // The equality must hold at every pool size (the appended kernel border
+  // and the batch solves are parallelized).
+  for (size_t pool : {1u, 2u, 8u}) {
+    PoolSizeGuard guard(pool);
+    GaussianProcess incremental(std::make_unique<Matern52Kernel>(),
+                                NoHyperoptRefresh(true));
+    GaussianProcess full(std::make_unique<Matern52Kernel>(),
+                         NoHyperoptRefresh(false));
+    ExpectIdenticalFitSequence(&incremental, &full, x, y, /*start=*/20,
+                               /*step=*/1);
+  }
+}
+
+TEST(GpIncrementalTest, MultiRowAppendMatchesFullRefactorization) {
+  const FeatureMatrix x = MakeInputs(60, 4, 13);
+  const std::vector<double> y = MakeTargets(x);
+  GaussianProcess incremental(std::make_unique<RbfKernel>(),
+                              NoHyperoptRefresh(true));
+  GaussianProcess full(std::make_unique<RbfKernel>(),
+                       NoHyperoptRefresh(false));
+  ExpectIdenticalFitSequence(&incremental, &full, x, y, /*start=*/12,
+                             /*step=*/6);
+}
+
+TEST(GpIncrementalTest, IncrementalPathActuallyRuns) {
+  // Guard against the equality tests passing vacuously because every fit
+  // silently fell back to a full refactorization.
+  const bool metrics_were_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  const uint64_t before = IncrementalFitCount();
+  const FeatureMatrix x = MakeInputs(30, 3, 17);
+  const std::vector<double> y = MakeTargets(x);
+  GaussianProcess gp(std::make_unique<Matern52Kernel>(),
+                     NoHyperoptRefresh(true));
+  for (size_t n = 10; n <= x.size(); n += 5) {
+    const FeatureMatrix head_x(x.begin(), x.begin() + n);
+    const std::vector<double> head_y(y.begin(), y.begin() + n);
+    ASSERT_TRUE(gp.Fit(head_x, head_y).ok());
+  }
+  // First fit runs the grid; the four extensions all append.
+  EXPECT_EQ(IncrementalFitCount() - before, 4u);
+  obs::SetMetricsEnabled(metrics_were_enabled);
+}
+
+TEST(GpIncrementalTest, ShrunkHistoryFallsBackAndRefreshesHyperopt) {
+  const FeatureMatrix x = MakeInputs(36, 4, 19);
+  const std::vector<double> y = MakeTargets(x);
+  GaussianProcessOptions options;  // hyperopt_every = 5, incremental on
+  GaussianProcess gp(std::make_unique<Matern52Kernel>(), options);
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+
+  // Shrink to a prefix: the cached factor no longer applies, and the
+  // cached hyper-parameters belong to data that no longer exists (the
+  // TuRBO-restart hazard) — the fit must rerun the grid search, making
+  // it bitwise identical to a fresh GP's first fit.
+  const FeatureMatrix head_x(x.begin(), x.begin() + 15);
+  const std::vector<double> head_y(y.begin(), y.begin() + 15);
+  ASSERT_TRUE(gp.Fit(head_x, head_y).ok());
+  GaussianProcess fresh(std::make_unique<Matern52Kernel>(), options);
+  ASSERT_TRUE(fresh.Fit(head_x, head_y).ok());
+  EXPECT_EQ(gp.log_marginal_likelihood(), fresh.log_marginal_likelihood());
+  EXPECT_EQ(gp.noise(), fresh.noise());
+  EXPECT_EQ(gp.kernel().lengthscale(), fresh.kernel().lengthscale());
+  EXPECT_EQ(gp.alpha(), fresh.alpha());
+  EXPECT_EQ(gp.cholesky_factor().data(), fresh.cholesky_factor().data());
+}
+
+TEST(GpIncrementalTest, WholesaleReplacementRefreshesHyperopt) {
+  const FeatureMatrix x_a = MakeInputs(30, 4, 23);
+  const std::vector<double> y_a = MakeTargets(x_a);
+  // Same size, different rows: not an extension.
+  const FeatureMatrix x_b = MakeInputs(30, 4, 29);
+  const std::vector<double> y_b = MakeTargets(x_b);
+
+  GaussianProcessOptions options;
+  GaussianProcess gp(std::make_unique<RbfKernel>(), options);
+  ASSERT_TRUE(gp.Fit(x_a, y_a).ok());
+  ASSERT_TRUE(gp.Fit(x_b, y_b).ok());
+
+  GaussianProcess fresh(std::make_unique<RbfKernel>(), options);
+  ASSERT_TRUE(fresh.Fit(x_b, y_b).ok());
+  EXPECT_EQ(gp.log_marginal_likelihood(), fresh.log_marginal_likelihood());
+  EXPECT_EQ(gp.kernel().lengthscale(), fresh.kernel().lengthscale());
+  EXPECT_EQ(gp.alpha(), fresh.alpha());
+  EXPECT_EQ(gp.cholesky_factor().data(), fresh.cholesky_factor().data());
+}
+
+TEST(GpIncrementalTest, HyperoptIterationsInterleaveWithAppends) {
+  // With hyperopt_every = 2 every other fit reruns the grid; incremental
+  // and full GPs must still agree bitwise across the whole schedule.
+  const FeatureMatrix x = MakeInputs(40, 4, 31);
+  const std::vector<double> y = MakeTargets(x);
+  GaussianProcessOptions on;
+  on.hyperopt_every = 2;
+  GaussianProcessOptions off = on;
+  off.enable_incremental = false;
+  GaussianProcess incremental(std::make_unique<Matern52Kernel>(), on);
+  GaussianProcess full(std::make_unique<Matern52Kernel>(), off);
+  ExpectIdenticalFitSequence(&incremental, &full, x, y, /*start=*/14,
+                             /*step=*/2);
+}
+
+TEST(GpIncrementalTest, BatchedPredictMatchesScalarBitwise) {
+  const FeatureMatrix x = MakeInputs(50, 5, 37);
+  const std::vector<double> y = MakeTargets(x);
+  const FeatureMatrix queries = MakeInputs(33, 5, 41);
+  for (size_t pool : {1u, 2u, 8u}) {
+    PoolSizeGuard guard(pool);
+    GaussianProcess gp(std::make_unique<Matern52Kernel>());
+    ASSERT_TRUE(gp.Fit(x, y).ok());
+    std::vector<double> batch_means, batch_vars;
+    gp.PredictMeanVarBatch(queries, &batch_means, &batch_vars);
+    ASSERT_EQ(batch_means.size(), queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      double mean = 0.0, var = 0.0;
+      gp.PredictMeanVar(queries[q], &mean, &var);
+      EXPECT_EQ(batch_means[q], mean);
+      EXPECT_EQ(batch_vars[q], var);
+    }
+  }
+}
+
+TEST(GpIncrementalTest, DefaultBatchMatchesScalarForForests) {
+  // The Regressor-level default (parallel scalar loop) must also be
+  // bitwise faithful — RGPE mixes forests and GPs through it.
+  const FeatureMatrix x = MakeInputs(80, 5, 43);
+  const std::vector<double> y = MakeTargets(x);
+  const FeatureMatrix queries = MakeInputs(25, 5, 47);
+  RandomForestOptions options;
+  options.num_trees = 30;
+  options.seed = 53;
+  RandomForest forest(options);
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  std::vector<double> batch_means, batch_vars;
+  forest.PredictMeanVarBatch(queries, &batch_means, &batch_vars);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    double mean = 0.0, var = 0.0;
+    forest.PredictMeanVar(queries[q], &mean, &var);
+    EXPECT_EQ(batch_means[q], mean);
+    EXPECT_EQ(batch_vars[q], var);
+  }
+}
+
+TEST(GpIncrementalTest, PredictionsAfterAppendMatchFullRefit) {
+  // End to end: posterior queries after several appends agree bitwise
+  // with a GP that refit from scratch every round.
+  const FeatureMatrix x = MakeInputs(45, 4, 59);
+  const std::vector<double> y = MakeTargets(x);
+  const FeatureMatrix queries = MakeInputs(20, 4, 61);
+  GaussianProcess incremental(std::make_unique<Matern52Kernel>(),
+                              NoHyperoptRefresh(true));
+  GaussianProcess full(std::make_unique<Matern52Kernel>(),
+                       NoHyperoptRefresh(false));
+  for (size_t n = 15; n <= x.size(); n += 3) {
+    const FeatureMatrix head_x(x.begin(), x.begin() + n);
+    const std::vector<double> head_y(y.begin(), y.begin() + n);
+    ASSERT_TRUE(incremental.Fit(head_x, head_y).ok());
+    ASSERT_TRUE(full.Fit(head_x, head_y).ok());
+  }
+  std::vector<double> inc_means, inc_vars, full_means, full_vars;
+  incremental.PredictMeanVarBatch(queries, &inc_means, &inc_vars);
+  full.PredictMeanVarBatch(queries, &full_means, &full_vars);
+  EXPECT_EQ(inc_means, full_means);
+  EXPECT_EQ(inc_vars, full_vars);
+}
+
+}  // namespace
+}  // namespace dbtune

@@ -108,6 +108,43 @@ TEST(LintTest, RawTimingAllowedInObsAndBenchUtil) {
             0);
 }
 
+TEST(LintTest, PredictInLoopRuleFiresInOptimizerFiles) {
+  const auto findings = LintFile(FixturePath("optimizer/bad_predict_loop.cc"),
+                                 "optimizer/bad_predict_loop.cc");
+  // Braced for body, while body, braceless body; the out-of-loop call,
+  // the allow() line, and the batched call are exempt.
+  EXPECT_EQ(CountRule(findings, "predict-in-loop"), 3);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "predict-in-loop") << dbtune_lint::FormatFinding(f);
+  }
+}
+
+TEST(LintTest, PredictInLoopRuleOnlyAppliesUnderOptimizer) {
+  // The same content outside src/optimizer (e.g. a surrogate internals
+  // file) is allowed to issue scalar predictions in loops.
+  const auto findings = LintFile(FixturePath("optimizer/bad_predict_loop.cc"),
+                                 "surrogate/bad_predict_loop.cc");
+  EXPECT_EQ(CountRule(findings, "predict-in-loop"), 0);
+}
+
+TEST(LintTest, PredictInLoopTracksNestingAcrossLines) {
+  // A call after every loop has closed must not fire; one in a nested
+  // loop across multiple lines must.
+  const std::string content =
+      "void F(const M& m, const C& c) {\n"
+      "  for (size_t i = 0; i < 3; ++i) {\n"
+      "    if (c.ok()) {\n"
+      "      m.PredictMeanVar(c[i], &a, &b);\n"
+      "    }\n"
+      "  }\n"
+      "  m.PredictMeanVar(c[0], &a, &b);\n"
+      "}\n";
+  const auto findings = LintSource("x.cc", "optimizer/x.cc", content);
+  EXPECT_EQ(CountRule(findings, "predict-in-loop"), 1);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].line, 4);
+}
+
 TEST(LintTest, AllowEscapeHatchSuppressesEveryRule) {
   EXPECT_TRUE(LintFile(FixturePath("allowed.cc"), "allowed.cc").empty());
   EXPECT_TRUE(
@@ -141,6 +178,7 @@ TEST(LintTest, FixtureTreeFindsAllViolations) {
   EXPECT_EQ(CountRule(findings, "include-guard"), 1);
   EXPECT_EQ(CountRule(findings, "iostream"), 1);
   EXPECT_EQ(CountRule(findings, "raw-timing"), 3);
+  EXPECT_EQ(CountRule(findings, "predict-in-loop"), 3);
 }
 
 // The shipped library tree must lint clean — the same invariant the

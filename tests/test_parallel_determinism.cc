@@ -170,6 +170,42 @@ TEST(ParallelDeterminismTest, GpBoTrajectory) {
   });
 }
 
+// A longer GP-BO run whose surrogate crosses several incremental appends
+// between hyperopt refreshes (hyperopt_every = 5, 25 iterations): the
+// bordered-append path must keep the trajectory bit-identical both
+// across pool sizes and against the full-refactorization baseline.
+TEST(ParallelDeterminismTest, GpBoTrajectoryCrossesIncrementalAppends) {
+  struct TestGpBo final : GpBoOptimizer {
+    using GpBoOptimizer::GpBoOptimizer;
+    std::string name() const override { return "Test GP-BO"; }
+  };
+  auto run = [](size_t pool_size, bool incremental) {
+    PoolSizeGuard guard(pool_size);
+    const ConfigurationSpace space = MakeContinuousSpace(4);
+    OptimizerOptions options;
+    options.seed = 53;
+    GaussianProcessOptions gp_options;
+    gp_options.enable_incremental = incremental;
+    TestGpBo optimizer(space, options, std::make_unique<Matern52Kernel>(),
+                       gp_options);
+    std::vector<double> trace;
+    for (int i = 0; i < 25; ++i) {
+      const Configuration c = optimizer.Suggest();
+      double score = 0.0;
+      for (size_t j = 0; j < c.size(); ++j) {
+        score -= (c[j] - 0.6) * (c[j] - 0.6);
+      }
+      optimizer.Observe(c, score);
+      for (size_t j = 0; j < c.size(); ++j) trace.push_back(c[j]);
+    }
+    return trace;
+  };
+  const std::vector<double> baseline = run(1, /*incremental=*/false);
+  EXPECT_EQ(baseline, run(1, /*incremental=*/true));
+  EXPECT_EQ(baseline, run(2, /*incremental=*/true));
+  EXPECT_EQ(baseline, run(8, /*incremental=*/true));
+}
+
 TEST(ParallelDeterminismTest, SmacTrajectory) {
   ExpectIdenticalTrajectories([](const ConfigurationSpace& space) {
     OptimizerOptions options;

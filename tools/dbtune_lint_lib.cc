@@ -217,6 +217,81 @@ void ScanTokens(const LineContext& ctx, const std::string& stripped,
   }
 }
 
+/// Tracks for/while/do nesting across lines so the predict-in-loop rule
+/// can tell whether a call site sits inside a loop body or header.
+struct LoopTracker {
+  int brace_depth = 0;
+  std::vector<int> loop_bodies;  // brace depth of each open braced loop body
+  bool in_header = false;        // inside the parens of for(...)/while(...)
+  int header_parens = 0;
+  bool body_pending = false;     // loop keyword seen, body not yet entered
+
+  bool InLoop() const {
+    return !loop_bodies.empty() || in_header || body_pending;
+  }
+};
+
+/// Scans one stripped line for scalar `PredictMeanVar` calls inside loops
+/// (src/optimizer only): per-candidate posterior queries belong on the
+/// batched path. `tracker` carries loop-nesting state across lines.
+void ScanPredictInLoop(const LineContext& ctx, const std::string& stripped,
+                       LoopTracker* tracker) {
+  size_t i = 0;
+  while (i < stripped.size()) {
+    const char c = stripped[i];
+    if (IsIdentChar(c)) {
+      const size_t start = i;
+      while (i < stripped.size() && IsIdentChar(stripped[i])) ++i;
+      if (std::isdigit(static_cast<unsigned char>(stripped[start])) != 0) {
+        continue;
+      }
+      const std::string ident = stripped.substr(start, i - start);
+      if (ident == "for" || ident == "while") {
+        tracker->in_header = true;
+        tracker->header_parens = 0;
+      } else if (ident == "do") {
+        tracker->body_pending = true;
+      } else if (ident == "PredictMeanVar" &&
+                 NextNonSpace(stripped, i) == '(' && tracker->InLoop()) {
+        Report(ctx, "predict-in-loop",
+               "scalar PredictMeanVar inside a loop — score candidate "
+               "batches through PredictMeanVarBatch instead (per-call "
+               "scratch and dispatch overhead dominates acquisition "
+               "scoring)");
+      }
+      continue;
+    }
+    if (c == '(') {
+      if (tracker->in_header) ++tracker->header_parens;
+    } else if (c == ')') {
+      if (tracker->in_header && tracker->header_parens > 0 &&
+          --tracker->header_parens == 0) {
+        tracker->in_header = false;
+        tracker->body_pending = true;
+      }
+    } else if (c == '{') {
+      ++tracker->brace_depth;
+      if (tracker->body_pending) {
+        tracker->loop_bodies.push_back(tracker->brace_depth);
+        tracker->body_pending = false;
+      }
+    } else if (c == '}') {
+      if (!tracker->loop_bodies.empty() &&
+          tracker->loop_bodies.back() == tracker->brace_depth) {
+        tracker->loop_bodies.pop_back();
+      }
+      --tracker->brace_depth;
+    } else if (c == ';') {
+      // A braceless loop body is a single statement; its terminating
+      // semicolon closes the loop.
+      if (tracker->body_pending && !tracker->in_header) {
+        tracker->body_pending = false;
+      }
+    }
+    ++i;
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> LintSource(const std::string& display_path,
@@ -231,6 +306,10 @@ std::vector<Finding> LintSource(const std::string& display_path,
   // wraps google-benchmark timing helpers.
   const bool timing_rules_apply =
       !StartsWith(relpath, "obs/") && !EndsWith(relpath, "bench_util.h");
+  // Acquisition loops live in optimizer/; that is where per-candidate
+  // scalar posterior queries must go through the batched path.
+  const bool predict_rules_apply = StartsWith(relpath, "optimizer/");
+  LoopTracker loop_tracker;
 
   std::istringstream stream(content);
   std::string raw;
@@ -287,6 +366,9 @@ std::vector<Finding> LintSource(const std::string& display_path,
     }
 
     ScanTokens(ctx, stripped, random_rules_apply, timing_rules_apply);
+    if (predict_rules_apply) {
+      ScanPredictInLoop(ctx, stripped, &loop_tracker);
+    }
   }
 
   if (is_header && !guard_checked) {

@@ -1,0 +1,25 @@
+// Fixture for the predict-in-loop rule: scalar PredictMeanVar calls
+// inside loops in optimizer code must be batched; the same content under
+// a non-optimizer path is exempt. Never compiled.
+
+void ScoreCandidates(const Model& model, const Candidates& candidates) {
+  double mean = 0.0;
+  double var = 0.0;
+  for (const auto& u : candidates) {
+    model.PredictMeanVar(u, &mean, &var);  // finding: braced for body
+  }
+  size_t i = 0;
+  while (i < candidates.size()) {
+    model.PredictMeanVar(candidates[i], &mean, &var);  // finding: while body
+    ++i;
+  }
+  for (const auto& u : candidates)
+    model.PredictMeanVar(u, &mean, &var);  // finding: braceless body
+  model.PredictMeanVar(candidates[0], &mean, &var);  // ok: outside loops
+  for (const auto& u : candidates) {
+    model.PredictMeanVar(u, &mean, &var);  // dbtune-lint: allow(predict-in-loop)
+    Means means;
+    Vars vars;
+    model.PredictMeanVarBatch(candidates, &means, &vars);  // ok: batched
+  }
+}
