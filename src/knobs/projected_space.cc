@@ -1,0 +1,71 @@
+#include "knobs/projected_space.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace dbtune {
+
+ProjectedConfigurationSpace::ProjectedConfigurationSpace(
+    const ConfigurationSpace* full, ProjectionOptions options)
+    : full_(full), options_(options) {
+  DBTUNE_CHECK(full_ != nullptr);
+  DBTUNE_CHECK_MSG(options_.dims > 0, "projection needs at least 1 dimension");
+  options_.special_value_bias =
+      std::clamp(options_.special_value_bias, 0.0, 0.95);
+
+  const size_t d = full_->dimension();
+  target_.resize(d);
+  sign_.resize(d);
+  default_unit_.resize(d);
+  // The embedding is one seeded draw per knob, in knob order — the same
+  // seed always yields the same hash/sign assignment regardless of pool
+  // size or platform.
+  Rng rng(options_.seed);
+  for (size_t i = 0; i < d; ++i) {
+    target_[i] = rng.Index(options_.dims);
+    sign_[i] = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    default_unit_[i] = full_->knob(i).Encode(full_->knob(i).default_value());
+  }
+
+  std::vector<Knob> box_knobs;
+  box_knobs.reserve(options_.dims);
+  for (size_t j = 0; j < options_.dims; ++j) {
+    std::string name = "z";
+    name += std::to_string(j);
+    box_knobs.push_back(Knob::Continuous(std::move(name), 0.0, 1.0, 0.5));
+  }
+  box_ = ConfigurationSpace(std::move(box_knobs));
+}
+
+std::vector<double> ProjectedConfigurationSpace::DecodeUnit(
+    const std::vector<double>& z) const {
+  DBTUNE_CHECK(z.size() == options_.dims);
+  const size_t d = full_->dimension();
+  const double bias = options_.special_value_bias;
+  std::vector<double> unit(d);
+  for (size_t i = 0; i < d; ++i) {
+    double t = std::clamp(z[target_[i]], 0.0, 1.0);
+    if (sign_[i] < 0.0) t = 1.0 - t;
+    // Biased special-value sampling: the first `bias` of the coordinate's
+    // range maps onto the knob's default; the rest is rescaled over the
+    // whole domain.
+    if (t < bias) {
+      unit[i] = default_unit_[i];
+    } else {
+      unit[i] = bias < 1.0 ? (t - bias) / (1.0 - bias) : default_unit_[i];
+    }
+  }
+  // Snap onto the realizable grid so the optimizer's surrogate judges the
+  // exact point the DBMS will be driven with.
+  return full_->SnapUnit(unit);
+}
+
+Configuration ProjectedConfigurationSpace::Decode(
+    const std::vector<double>& z) const {
+  return full_->FromUnit(DecodeUnit(z));
+}
+
+}  // namespace dbtune

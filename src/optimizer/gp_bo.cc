@@ -13,9 +13,12 @@ namespace dbtune {
 
 GpBoOptimizer::GpBoOptimizer(const ConfigurationSpace& space,
                              OptimizerOptions options,
-                             std::unique_ptr<Kernel> kernel,
-                             GaussianProcessOptions gp_options)
-    : Optimizer(space, options), gp_(std::move(kernel), gp_options) {}
+                             KernelFactory kernel_factory,
+                             GaussianProcessOptions gp_options,
+                             SurrogateTierOptions tier_options)
+    : Optimizer(space, options),
+      gp_(CreateGpSurrogate(std::move(kernel_factory), gp_options,
+                            tier_options)) {}
 
 Configuration GpBoOptimizer::Suggest() {
   static obs::Histogram& suggest_hist =
@@ -26,7 +29,7 @@ Configuration GpBoOptimizer::Suggest() {
   DBTUNE_CHECK(!scores_.empty());
 
   const std::vector<double> z = StandardizedScores();
-  Status fit = gp_.Fit(unit_history_, z);
+  Status fit = gp_->Fit(unit_history_, z);
   if (!fit.ok()) {
     // Degenerate geometry (e.g. duplicated points): fall back to random.
     return space_.SampleUniform(rng_);
@@ -74,7 +77,7 @@ Configuration GpBoOptimizer::Suggest() {
                 }
               });
   std::vector<double> means, variances;
-  gp_.PredictMeanVarBatch(snapped, &means, &variances);
+  gp_->PredictMeanVarBatch(snapped, &means, &variances);
   double best_ei = -1.0;
   size_t best_candidate = 0;
   for (size_t c = 0; c < candidates.size(); ++c) {
@@ -89,6 +92,7 @@ Configuration GpBoOptimizer::Suggest() {
 
 VanillaBoOptimizer::VanillaBoOptimizer(const ConfigurationSpace& space,
                                        OptimizerOptions options)
-    : GpBoOptimizer(space, options, std::make_unique<RbfKernel>()) {}
+    : GpBoOptimizer(space, options,
+                    [] { return std::make_unique<RbfKernel>(); }) {}
 
 }  // namespace dbtune

@@ -4,26 +4,30 @@
 #include <memory>
 
 #include "optimizer/optimizer.h"
-#include "surrogate/gaussian_process.h"
+#include "surrogate/surrogate_factory.h"
 
 namespace dbtune {
 
 /// Shared machinery of the GP-based Bayesian optimizers: LHS warm start,
 /// GP refit on the (standardized) history each iteration, and Expected
 /// Improvement maximized over a random + local candidate pool. Subclasses
-/// only choose the kernel.
+/// only choose the kernel; the surrogate itself comes from
+/// `CreateGpSurrogate`, so long histories escalate to the sparse tier
+/// automatically (see SurrogateTierOptions).
 class GpBoOptimizer : public Optimizer {
  public:
-  /// Takes ownership of the kernel. `gp_options` tunes the surrogate
-  /// (tests use it to compare the incremental and full fit paths).
+  /// `kernel_factory` builds the surrogate's kernel(s); `gp_options`
+  /// tunes the exact tier (tests use it to compare the incremental and
+  /// full fit paths); `tier_options` sets the escalation policy.
   GpBoOptimizer(const ConfigurationSpace& space, OptimizerOptions options,
-                std::unique_ptr<Kernel> kernel,
-                GaussianProcessOptions gp_options = {});
+                KernelFactory kernel_factory,
+                GaussianProcessOptions gp_options = {},
+                SurrogateTierOptions tier_options = {});
 
   Configuration Suggest() override;
 
  protected:
-  GaussianProcess gp_;
+  std::unique_ptr<Regressor> gp_;
 };
 
 /// Vanilla BO (iTuned / OtterTune style): GP with an RBF kernel over the

@@ -14,7 +14,8 @@ std::vector<bool> CategoricalMask(const ConfigurationSpace& space) {
 
 MixedKernelBoOptimizer::MixedKernelBoOptimizer(const ConfigurationSpace& space,
                                                OptimizerOptions options)
-    : GpBoOptimizer(space, options,
-                    std::make_unique<MixedKernel>(CategoricalMask(space))) {}
+    : GpBoOptimizer(space, options, [mask = CategoricalMask(space)] {
+        return std::make_unique<MixedKernel>(mask);
+      }) {}
 
 }  // namespace dbtune

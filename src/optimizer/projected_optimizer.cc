@@ -1,0 +1,63 @@
+#include "optimizer/projected_optimizer.h"
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+ProjectedOptimizer::ProjectedOptimizer(const ConfigurationSpace& space,
+                                       OptimizerOptions options,
+                                       OptimizerType inner_type,
+                                       ProjectionOptions projection)
+    : ProjectedOptimizer(
+          space, options,
+          [&](const ConfigurationSpace& box) {
+            return CreateOptimizer(inner_type, box, options);
+          },
+          projection) {}
+
+ProjectedOptimizer::ProjectedOptimizer(const ConfigurationSpace& space,
+                                       OptimizerOptions options,
+                                       const OptimizerFactory& inner_factory,
+                                       ProjectionOptions projection)
+    // The base copies the full space into `space_`, which outlives (and
+    // is initialized before) the projection view over it.
+    : Optimizer(space, options),
+      projection_(&space_, projection),
+      inner_(inner_factory(projection_.box())) {
+  DBTUNE_CHECK(inner_ != nullptr);
+}
+
+Configuration ProjectedOptimizer::Suggest() {
+  const Configuration low = inner_->Suggest();
+  pending_low_ = low;
+  has_pending_ = true;
+  return projection_.Decode(projection_.box().ToUnit(low));
+}
+
+void ProjectedOptimizer::Observe(const Configuration& config, double score) {
+  Optimizer::Observe(config, score);
+  if (has_pending_) {
+    inner_->Observe(pending_low_, score);
+    has_pending_ = false;
+  }
+}
+
+void ProjectedOptimizer::ObserveWithMetrics(
+    const Configuration& config, double score,
+    const std::vector<double>& metrics) {
+  Optimizer::Observe(config, score);
+  if (has_pending_) {
+    inner_->ObserveWithMetrics(pending_low_, score, metrics);
+    has_pending_ = false;
+  }
+}
+
+void ProjectedOptimizer::SetReferenceScore(double score) {
+  inner_->SetReferenceScore(score);
+}
+
+std::string ProjectedOptimizer::name() const {
+  return "Projected(" + inner_->name() + ")";
+}
+
+}  // namespace dbtune

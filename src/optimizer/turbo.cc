@@ -98,8 +98,10 @@ Configuration TurboOptimizer::Suggest() {
     GaussianProcessOptions gp_options;
     gp_options.hyperopt_every = 1;
     gp_options.lengthscale_grid = {0.1, 0.3, 0.8};
-    GaussianProcess gp(std::make_unique<Matern52Kernel>(), gp_options);
-    if (!gp.Fit(local_x, local_y).ok()) continue;
+    const std::unique_ptr<Regressor> gp = CreateGpSurrogate(
+        [] { return std::make_unique<Matern52Kernel>(); }, gp_options,
+        turbo_options_.surrogate_tier);
+    if (!gp->Fit(local_x, local_y).ok()) continue;
 
     // Thompson sampling over perturbation candidates within the box. All
     // RNG draws (perturbations and the posterior-sample normals) happen
@@ -131,7 +133,7 @@ Configuration TurboOptimizer::Suggest() {
       normals[c] = rng_.Gaussian();
     }
     std::vector<double> means, variances;
-    gp.PredictMeanVarBatch(units, &means, &variances);
+    gp->PredictMeanVarBatch(units, &means, &variances);
     for (size_t c = 0; c < num_candidates; ++c) {
       const double sample = means[c] + std::sqrt(variances[c]) * normals[c];
       if (sample > best_sample) {

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "optimizer/optimizer.h"
-#include "surrogate/gaussian_process.h"
+#include "surrogate/surrogate_factory.h"
 
 namespace dbtune {
 
@@ -18,6 +18,10 @@ struct TurboOptions {
   size_t success_tolerance = 3;
   size_t failure_tolerance = 5;
   size_t candidates_per_region = 50;
+  /// Escalation policy of the per-region local GPs. Regions usually hold
+  /// few points, but the fallback fit over the whole history benefits
+  /// from the sparse tier in long sessions.
+  SurrogateTierOptions surrogate_tier;
 };
 
 /// Trust-region Bayesian optimization: several local GP models, each

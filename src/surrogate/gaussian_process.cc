@@ -237,18 +237,20 @@ void GaussianProcess::PredictMeanVar(const std::vector<double>& x,
       obs::MetricsRegistry::Get().histogram("gp.predict");
   obs::ScopedLatency predict_latency(&predict_hist);
   const size_t n = x_.size();
-  // Per-thread scratch: the caller's buffers outlive the blocking
-  // ParallelFor below, so pool workers writing disjoint chunks through
-  // the captured reference never dangle (each calling thread owns its
-  // own pair, so concurrent callers from the acquisition loops are
-  // isolated too).
+  // Per-thread scratch: each calling thread owns its own pair, so
+  // concurrent callers from the acquisition loops are isolated. The
+  // caller's buffer outlives the blocking ParallelFor below; workers
+  // must write it through a pointer captured by value — naming the
+  // thread_local inside the lambda would resolve to each worker's own
+  // (empty, never-resized) instance and write out of bounds.
   static thread_local std::vector<double> k_star;
   static thread_local std::vector<double> v;
   k_star.resize(n);
+  double* const k_star_out = k_star.data();
   ParallelFor(GlobalPool(), 0, n, /*grain=*/64,
-              [&](size_t begin, size_t end) {
+              [&, k_star_out](size_t begin, size_t end) {
                 for (size_t i = begin; i < end; ++i) {
-                  k_star[i] = kernel_->Compute(x_[i], x);
+                  k_star_out[i] = kernel_->Compute(x_[i], x);
                 }
               });
 

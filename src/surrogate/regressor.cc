@@ -9,6 +9,15 @@ void Regressor::PredictMeanVarBatch(const FeatureMatrix& xs,
                                     std::vector<double>* variances) const {
   means->resize(xs.size());
   variances->resize(xs.size());
+  // Tiny batches (single-query acquisition probes) skip the dispatch
+  // entirely: GlobalPool() takes a lock per call, which dwarfs a handful
+  // of scalar posterior queries. Same arithmetic, same results.
+  if (xs.size() < 8) {
+    for (size_t q = 0; q < xs.size(); ++q) {
+      PredictMeanVar(xs[q], &(*means)[q], &(*variances)[q]);
+    }
+    return;
+  }
   ParallelFor(GlobalPool(), 0, xs.size(), /*grain=*/16,
               [&](size_t begin, size_t end) {
                 for (size_t q = begin; q < end; ++q) {

@@ -1,0 +1,89 @@
+#include "surrogate/surrogate_factory.h"
+
+#include "util/logging.h"
+
+namespace dbtune {
+
+const char* SurrogateTierName(SurrogateTier tier) {
+  switch (tier) {
+    case SurrogateTier::kAuto:
+      return "auto";
+    case SurrogateTier::kExact:
+      return "exact";
+    case SurrogateTier::kSparse:
+      return "sparse";
+  }
+  return "?";
+}
+
+TieredGpSurrogate::TieredGpSurrogate(KernelFactory kernel_factory,
+                                     GaussianProcessOptions gp_options,
+                                     SurrogateTierOptions tier_options)
+    : kernel_factory_(std::move(kernel_factory)),
+      gp_options_(gp_options),
+      tier_options_(tier_options) {
+  DBTUNE_CHECK(kernel_factory_ != nullptr);
+  DBTUNE_CHECK(tier_options_.num_inducing > 0);
+}
+
+Status TieredGpSurrogate::Fit(const FeatureMatrix& x,
+                              const std::vector<double>& y) {
+  const bool use_sparse =
+      tier_options_.tier == SurrogateTier::kSparse ||
+      (tier_options_.tier == SurrogateTier::kAuto &&
+       x.size() > tier_options_.sparse_crossover);
+  if (use_sparse) {
+    if (!sparse_) {
+      // The sparse tier inherits the exact GP's hyper-parameter search
+      // (same grids, same cadence) so escalation changes the fit cost,
+      // not the modeling policy.
+      SparseGaussianProcessOptions sparse_options;
+      sparse_options.num_inducing = tier_options_.num_inducing;
+      sparse_options.lengthscale_grid = gp_options_.lengthscale_grid;
+      sparse_options.noise_grid = gp_options_.noise_grid;
+      sparse_options.hyperopt_every = gp_options_.hyperopt_every;
+      sparse_ = std::make_unique<SparseGaussianProcess>(kernel_factory_(),
+                                                        sparse_options);
+    }
+    active_ = sparse_.get();
+    return sparse_->Fit(x, y);
+  }
+  if (!exact_) {
+    exact_ =
+        std::make_unique<GaussianProcess>(kernel_factory_(), gp_options_);
+  }
+  active_ = exact_.get();
+  return exact_->Fit(x, y);
+}
+
+double TieredGpSurrogate::Predict(const std::vector<double>& x) const {
+  DBTUNE_CHECK_MSG(active_ != nullptr, "Predict before Fit");
+  return active_->Predict(x);
+}
+
+void TieredGpSurrogate::PredictMeanVar(const std::vector<double>& x,
+                                       double* mean, double* variance) const {
+  DBTUNE_CHECK_MSG(active_ != nullptr, "Predict before Fit");
+  active_->PredictMeanVar(x, mean, variance);
+}
+
+void TieredGpSurrogate::PredictMeanVarBatch(
+    const FeatureMatrix& xs, std::vector<double>* means,
+    std::vector<double>* variances) const {
+  DBTUNE_CHECK_MSG(active_ != nullptr, "Predict before Fit");
+  active_->PredictMeanVarBatch(xs, means, variances);
+}
+
+std::string TieredGpSurrogate::name() const {
+  if (active_ != nullptr) return active_->name();
+  return std::string("TieredGP-") + SurrogateTierName(tier_options_.tier);
+}
+
+std::unique_ptr<Regressor> CreateGpSurrogate(KernelFactory kernel_factory,
+                                             GaussianProcessOptions gp_options,
+                                             SurrogateTierOptions tier_options) {
+  return std::make_unique<TieredGpSurrogate>(std::move(kernel_factory),
+                                             gp_options, tier_options);
+}
+
+}  // namespace dbtune

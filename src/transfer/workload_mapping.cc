@@ -5,8 +5,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "surrogate/gaussian_process.h"
 #include "surrogate/random_forest.h"
+#include "surrogate/surrogate_factory.h"
 #include "util/logging.h"
 #include "util/matrix.h"
 #include "util/thread_pool.h"
@@ -39,8 +39,11 @@ std::unique_ptr<Regressor> CreateBaseSurrogate(TransferBase base,
   }
   GaussianProcessOptions gp_options;
   gp_options.hyperopt_every = 5;
-  return std::make_unique<GaussianProcess>(std::make_unique<MixedKernel>(mask),
-                                           gp_options);
+  // Through the tiered factory so large source-task histories escalate
+  // to the sparse GP (RGPE fits one base surrogate per source task).
+  return CreateGpSurrogate(
+      [mask = std::move(mask)] { return std::make_unique<MixedKernel>(mask); },
+      gp_options);
 }
 
 WorkloadMappingOptimizer::WorkloadMappingOptimizer(

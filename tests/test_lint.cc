@@ -145,6 +145,27 @@ TEST(LintTest, PredictInLoopTracksNestingAcrossLines) {
   EXPECT_EQ(findings[0].line, 4);
 }
 
+TEST(LintTest, GpConstructionRuleFiresInOptimizerFiles) {
+  const auto findings =
+      LintFile(FixturePath("optimizer/bad_gp_construction.cc"),
+               "optimizer/bad_gp_construction.cc");
+  // Direct ctor, make_unique, and the sparse class; the options struct,
+  // the factory call, and the allow() line are exempt.
+  EXPECT_EQ(CountRule(findings, "gp-construction"), 3);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "gp-construction") << dbtune_lint::FormatFinding(f);
+  }
+}
+
+TEST(LintTest, GpConstructionRuleOnlyAppliesUnderOptimizer) {
+  // surrogate/ (and tests, benches, the factory itself) may construct
+  // the GP classes directly.
+  const auto findings =
+      LintFile(FixturePath("optimizer/bad_gp_construction.cc"),
+               "surrogate/bad_gp_construction.cc");
+  EXPECT_EQ(CountRule(findings, "gp-construction"), 0);
+}
+
 TEST(LintTest, AllowEscapeHatchSuppressesEveryRule) {
   EXPECT_TRUE(LintFile(FixturePath("allowed.cc"), "allowed.cc").empty());
   EXPECT_TRUE(
@@ -179,6 +200,7 @@ TEST(LintTest, FixtureTreeFindsAllViolations) {
   EXPECT_EQ(CountRule(findings, "iostream"), 1);
   EXPECT_EQ(CountRule(findings, "raw-timing"), 3);
   EXPECT_EQ(CountRule(findings, "predict-in-loop"), 3);
+  EXPECT_EQ(CountRule(findings, "gp-construction"), 3);
 }
 
 // The shipped library tree must lint clean — the same invariant the

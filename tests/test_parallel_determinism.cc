@@ -11,10 +11,13 @@
 
 #include "knobs/knob.h"
 #include "optimizer/gp_bo.h"
+#include "optimizer/projected_optimizer.h"
 #include "optimizer/smac.h"
 #include "optimizer/turbo.h"
 #include "surrogate/gaussian_process.h"
 #include "surrogate/random_forest.h"
+#include "surrogate/sparse_gaussian_process.h"
+#include "surrogate/surrogate_factory.h"
 #include "transfer/repository.h"
 #include "transfer/rgpe.h"
 #include "util/matrix.h"
@@ -92,7 +95,10 @@ TEST(ParallelDeterminismTest, MatrixMultiplyMatchesAtAnyPoolSize) {
 }
 
 TEST(ParallelDeterminismTest, GaussianProcessFitAndPredict) {
-  const FeatureMatrix x = MakeInputs(60, 5, 11);
+  // n is past the scalar-predict ParallelFor grain (64) so the kernel
+  // row actually dispatches to pool workers (regression: workers once
+  // wrote their own empty thread_local scratch instead of the caller's).
+  const FeatureMatrix x = MakeInputs(160, 5, 11);
   const std::vector<double> y = MakeTargets(x);
   const FeatureMatrix queries = MakeInputs(20, 5, 13);
 
@@ -110,6 +116,40 @@ TEST(ParallelDeterminismTest, GaussianProcessFitAndPredict) {
     return out;
   };
   EXPECT_EQ(run(1), run(4));
+}
+
+// The sparse tier parallelizes inducing selection, the chunked assembly
+// of the m×m system, and batched prediction; all of it must be bitwise
+// reproducible across pool sizes 1/2/8 (the acceptance sweep for
+// DBTUNE_NUM_THREADS).
+TEST(ParallelDeterminismTest, SparseGaussianProcessFitAndPredict) {
+  const FeatureMatrix x = MakeInputs(300, 5, 59);
+  const std::vector<double> y = MakeTargets(x);
+  const FeatureMatrix queries = MakeInputs(40, 5, 61);
+
+  auto run = [&](size_t pool_size) {
+    PoolSizeGuard guard(pool_size);
+    SparseGaussianProcess gp(std::make_unique<Matern52Kernel>());
+    EXPECT_TRUE(gp.Fit(x, y).ok());
+    std::vector<double> out = {gp.log_marginal_likelihood()};
+    for (size_t id : gp.inducing_indices()) {
+      out.push_back(static_cast<double>(id));
+    }
+    for (const auto& q : queries) {
+      double mean = 0.0, var = 0.0;
+      gp.PredictMeanVar(q, &mean, &var);
+      out.push_back(mean);
+      out.push_back(var);
+    }
+    std::vector<double> means, vars;
+    gp.PredictMeanVarBatch(queries, &means, &vars);
+    out.insert(out.end(), means.begin(), means.end());
+    out.insert(out.end(), vars.begin(), vars.end());
+    return out;
+  };
+  const std::vector<double> pool1 = run(1);
+  EXPECT_EQ(pool1, run(2));
+  EXPECT_EQ(pool1, run(8));
 }
 
 TEST(ParallelDeterminismTest, RandomForestFitAndPredict) {
@@ -186,8 +226,9 @@ TEST(ParallelDeterminismTest, GpBoTrajectoryCrossesIncrementalAppends) {
     options.seed = 53;
     GaussianProcessOptions gp_options;
     gp_options.enable_incremental = incremental;
-    TestGpBo optimizer(space, options, std::make_unique<Matern52Kernel>(),
-                       gp_options);
+    TestGpBo optimizer(
+        space, options, [] { return std::make_unique<Matern52Kernel>(); },
+        gp_options);
     std::vector<double> trace;
     for (int i = 0; i < 25; ++i) {
       const Configuration c = optimizer.Suggest();
@@ -204,6 +245,72 @@ TEST(ParallelDeterminismTest, GpBoTrajectoryCrossesIncrementalAppends) {
   EXPECT_EQ(baseline, run(1, /*incremental=*/true));
   EXPECT_EQ(baseline, run(2, /*incremental=*/true));
   EXPECT_EQ(baseline, run(8, /*incremental=*/true));
+}
+
+// GP-BO forced onto the sparse tier: suggestion-by-suggestion bitwise
+// equality across the acceptance pool sweep {1, 2, 8}.
+TEST(ParallelDeterminismTest, SparseTierGpBoTrajectory) {
+  struct TestGpBo final : GpBoOptimizer {
+    using GpBoOptimizer::GpBoOptimizer;
+    std::string name() const override { return "Sparse GP-BO"; }
+  };
+  auto run = [](size_t pool_size) {
+    PoolSizeGuard guard(pool_size);
+    const ConfigurationSpace space = MakeContinuousSpace(4);
+    OptimizerOptions options;
+    options.seed = 67;
+    SurrogateTierOptions tier_options;
+    tier_options.tier = SurrogateTier::kSparse;
+    tier_options.num_inducing = 12;
+    TestGpBo optimizer(
+        space, options, [] { return std::make_unique<Matern52Kernel>(); },
+        GaussianProcessOptions{}, tier_options);
+    std::vector<double> trace;
+    for (int i = 0; i < 20; ++i) {
+      const Configuration c = optimizer.Suggest();
+      double score = 0.0;
+      for (size_t j = 0; j < c.size(); ++j) {
+        score -= (c[j] - 0.6) * (c[j] - 0.6);
+      }
+      optimizer.Observe(c, score);
+      for (size_t j = 0; j < c.size(); ++j) trace.push_back(c[j]);
+    }
+    return trace;
+  };
+  const std::vector<double> pool1 = run(1);
+  EXPECT_EQ(pool1, run(2));
+  EXPECT_EQ(pool1, run(8));
+}
+
+// The projected wrapper adds the embedding decode on top of the inner
+// optimizer; the full-space trajectory must stay bit-identical across
+// pool sizes (the projection itself is pool-independent by construction,
+// but the inner BO loop is not trivially so).
+TEST(ParallelDeterminismTest, ProjectedOptimizerTrajectory) {
+  auto run = [](size_t pool_size) {
+    PoolSizeGuard guard(pool_size);
+    const ConfigurationSpace space = MakeContinuousSpace(8);
+    OptimizerOptions options;
+    options.seed = 71;
+    ProjectionOptions projection;
+    projection.dims = 3;
+    ProjectedOptimizer optimizer(space, options, OptimizerType::kVanillaBo,
+                                 projection);
+    std::vector<double> trace;
+    for (int i = 0; i < 18; ++i) {
+      const Configuration c = optimizer.Suggest();
+      double score = 0.0;
+      for (size_t j = 0; j < c.size(); ++j) {
+        score -= (c[j] - 0.6) * (c[j] - 0.6);
+      }
+      optimizer.Observe(c, score);
+      for (size_t j = 0; j < c.size(); ++j) trace.push_back(c[j]);
+    }
+    return trace;
+  };
+  const std::vector<double> pool1 = run(1);
+  EXPECT_EQ(pool1, run(2));
+  EXPECT_EQ(pool1, run(8));
 }
 
 TEST(ParallelDeterminismTest, SmacTrajectory) {

@@ -154,9 +154,10 @@ void Report(const LineContext& ctx, const std::string& rule,
 }
 
 /// Scans one stripped line for identifier-token rules (random-seed,
-/// naked-new, using-namespace-std, raw-timing).
+/// naked-new, using-namespace-std, raw-timing, gp-construction).
 void ScanTokens(const LineContext& ctx, const std::string& stripped,
-                bool random_rules_apply, bool timing_rules_apply) {
+                bool random_rules_apply, bool timing_rules_apply,
+                bool gp_rules_apply) {
   size_t i = 0;
   std::vector<std::string> idents;  // in order, for the using-namespace scan
   while (i < stripped.size()) {
@@ -195,6 +196,15 @@ void ScanTokens(const LineContext& ctx, const std::string& stripped,
                  " read outside src/obs — measure time through obs/clock "
                  "(MonotonicNanos/MonotonicSeconds) so latencies share one "
                  "swappable clock and land in the metrics registry");
+    }
+
+    if (gp_rules_apply &&
+        (ident == "GaussianProcess" || ident == "SparseGaussianProcess")) {
+      Report(ctx, "gp-construction",
+             "direct " + ident +
+                 " use in optimizer code — obtain GP surrogates through "
+                 "surrogate_factory's CreateGpSurrogate so long histories "
+                 "escalate to the sparse tier");
     }
 
     if (ident == "new") {
@@ -307,8 +317,10 @@ std::vector<Finding> LintSource(const std::string& display_path,
   const bool timing_rules_apply =
       !StartsWith(relpath, "obs/") && !EndsWith(relpath, "bench_util.h");
   // Acquisition loops live in optimizer/; that is where per-candidate
-  // scalar posterior queries must go through the batched path.
+  // scalar posterior queries must go through the batched path and GP
+  // surrogates must come from the tiered factory.
   const bool predict_rules_apply = StartsWith(relpath, "optimizer/");
+  const bool gp_rules_apply = StartsWith(relpath, "optimizer/");
   LoopTracker loop_tracker;
 
   std::istringstream stream(content);
@@ -365,7 +377,8 @@ std::vector<Finding> LintSource(const std::string& display_path,
       continue;  // no token rules on preprocessor lines
     }
 
-    ScanTokens(ctx, stripped, random_rules_apply, timing_rules_apply);
+    ScanTokens(ctx, stripped, random_rules_apply, timing_rules_apply,
+               gp_rules_apply);
     if (predict_rules_apply) {
       ScanPredictInLoop(ctx, stripped, &loop_tracker);
     }

@@ -28,6 +28,10 @@ struct Finding {
 ///                   and bench_util.h; timing must flow through obs/clock
 ///                   so every latency lands in the metrics registry and
 ///                   tests can swap in the deterministic fake clock
+///   gp-construction — no direct GaussianProcess/SparseGaussianProcess
+///                   use in src/optimizer; GP surrogates must come from
+///                   surrogate_factory's CreateGpSurrogate so the sparse
+///                   escalation policy applies everywhere
 ///
 /// Any rule can be suppressed for one line with a trailing comment:
 ///   ... code ...  // dbtune-lint: allow(<rule>)
