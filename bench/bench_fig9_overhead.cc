@@ -28,6 +28,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/tuning_session.h"
 #include "dbms/environment.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -344,6 +345,37 @@ void RunThreadScalingReport() {
   std::printf("\n");
 }
 
+// When DBTUNE_FIG9_SESSION_LOG names a file, run one diagnostics-on
+// SMAC session over the Figure-9 workload (JOB, top-20 knobs) and write
+// its per-iteration JSONL there — CI feeds the file to dbtune_report
+// and uploads the rendered markdown as an artifact.
+void MaybeEmitDiagnosticsSessionLog() {
+  const char* path = std::getenv("DBTUNE_FIG9_SESSION_LOG");
+  if (path == nullptr || path[0] == '\0') return;
+  const bool metrics_were_enabled = dbtune::obs::MetricsEnabled();
+  dbtune::obs::SetMetricsEnabled(true);
+
+  DbmsSimulator sim(WorkloadId::kJob, HardwareInstance::kB, 2);
+  const std::vector<size_t> ranking = sim.surface().TunabilityRanking();
+  const std::vector<size_t> top20(ranking.begin(), ranking.begin() + 20);
+  TuningEnvironment env(&sim, top20);
+  OptimizerOptions options;
+  options.seed = 7;
+  std::unique_ptr<Optimizer> optimizer =
+      CreateOptimizer(OptimizerType::kSmac, env.space(), options);
+
+  SessionControls controls;
+  controls.session_log_path = path;
+  controls.diagnostics = true;
+  controls.session_label = "fig9";
+  const SessionResult result =
+      RunTuningSession(&env, optimizer.get(), /*iterations=*/40, controls);
+  std::printf("diagnostics session log written to %s "
+              "(best improvement %.2f%%)\n\n",
+              path, result.final_improvement);
+  dbtune::obs::SetMetricsEnabled(metrics_were_enabled);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -351,6 +383,7 @@ int main(int argc, char** argv) {
   std::printf("paper shape: GP-based optimizers grow cubically with the\n"
               "number of observations (>10s after 200 iters on the paper's\n"
               "hardware); RF/TPE/GA/DDPG stay near-constant.\n\n");
+  MaybeEmitDiagnosticsSessionLog();
   RunThreadScalingReport();
   RegisterAll();
   benchmark::Initialize(&argc, argv);

@@ -72,8 +72,9 @@ Result<AdvisorReport> TuneDbms(DbmsSimulator* simulator,
     optimizer =
         CreateOptimizer(options.optimizer, env.space(), optimizer_options);
   }
-  report.session =
-      RunTuningSession(&env, optimizer.get(), options.tuning_iterations);
+  report.session = RunTuningSession(&env, optimizer.get(),
+                                    options.tuning_iterations,
+                                    options.session);
 
   // --- Assemble the recommendation.
   report.best_objective = env.best_objective();

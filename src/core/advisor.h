@@ -24,6 +24,9 @@ struct AdvisorOptions {
   /// Tuning iterations after knob selection.
   size_t tuning_iterations = 100;
   uint64_t seed = 5;
+  /// Session controls (diagnostics, session log, metrics export, ...)
+  /// passed through to the tuning loop.
+  SessionControls session;
 };
 
 /// Advisor outcome: the recommendation plus the evidence behind it.

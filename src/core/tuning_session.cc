@@ -1,7 +1,9 @@
 #include "core/tuning_session.h"
 
 #include "obs/clock.h"
+#include "obs/diagnostics.h"
 #include "obs/metrics.h"
+#include "obs/metrics_export.h"
 #include "obs/session_log.h"
 #include "obs/trace.h"
 #include "optimizer/projected_optimizer.h"
@@ -28,6 +30,19 @@ SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
 
   obs::SessionLogger session_log(
       obs::SessionLogger::ResolvePath(controls.session_log_path));
+
+  // Diagnostics observe the session; they never feed back into it (no
+  // RNG draws, no clock reads inside Record), so enabling them leaves
+  // the tuning trajectory bitwise unchanged.
+  std::unique_ptr<obs::TuningDiagnostics> diagnostics;
+  if (controls.diagnostics || obs::DiagnosticsEnvEnabled()) {
+    obs::TuningDiagnosticsOptions diag_options;
+    diag_options.session_label = controls.session_label;
+    diagnostics = std::make_unique<obs::TuningDiagnostics>(diag_options);
+  }
+  obs::MetricsExporter exporter(
+      obs::MetricsExporter::ResolvePath(controls.metrics_export_path),
+      obs::MetricsExporter::ResolveIntervalSeconds());
 
   SessionResult result;
   result.improvement_trace.reserve(iterations);
@@ -72,6 +87,17 @@ SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
       iteration_counter.Increment();
       best_score_gauge.Set(env->best_objective());
     }
+    if (diagnostics != nullptr) {
+      const SuggestInfo& info = optimizer->last_suggest_info();
+      obs::DiagnosticsPrediction prediction;
+      prediction.has_prediction = info.has_prediction;
+      prediction.mean = info.predicted_mean;
+      prediction.variance = info.predicted_variance;
+      prediction.has_acquisition = info.has_acquisition;
+      prediction.acquisition_best = info.acquisition_best;
+      prediction.acquisition_spread = info.acquisition_spread;
+      diagnostics->Record(prediction, observation.score);
+    }
     if (session_log.enabled()) {
       obs::SessionIterationRecord record;
       record.iteration = iter + 1;
@@ -81,8 +107,13 @@ SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
       record.score = observation.score;
       record.best_score = env->best_objective();
       record.improvement_percent = env->ImprovementPercent();
+      if (diagnostics != nullptr) {
+        record.has_diagnostics = true;
+        record.diagnostics = diagnostics->last();
+      }
       session_log.Log(record);
     }
+    exporter.MaybeExport();
   }
 
   result.final_improvement = env->ImprovementPercent();
@@ -90,6 +121,17 @@ SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
   result.best_iteration = env->best_iteration();
   result.simulated_evaluation_seconds =
       env->simulator().simulated_seconds() - sim_seconds_start;
+  if (diagnostics != nullptr) {
+    result.has_diagnostics = true;
+    result.final_diagnostics = diagnostics->last();
+  }
+  if (exporter.enabled()) {
+    const Status exported = exporter.ExportNow();
+    if (!exported.ok()) {
+      DBTUNE_LOG(kWarning) << "metrics not exported: "
+                           << exported.ToString();
+    }
+  }
 
   const std::string trace_path =
       controls.trace_path.empty() ? obs::TraceEnvPath() : controls.trace_path;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dbms/environment.h"
+#include "obs/diagnostics.h"
 #include "optimizer/optimizer.h"
 
 namespace dbtune {
@@ -27,6 +28,10 @@ struct SessionResult {
   std::vector<double> per_iteration_overhead;
   /// Simulated DBMS-side seconds (restarts + stress tests).
   double simulated_evaluation_seconds = 0.0;
+  /// Final iteration's tuner-quality diagnostics (calibration, regret,
+  /// model health), set when diagnostics were enabled for the session.
+  bool has_diagnostics = false;
+  obs::IterationDiagnostics final_diagnostics;
 };
 
 /// Extra controls for `RunTuningSession`.
@@ -49,6 +54,18 @@ struct SessionControls {
   /// Probability mass reserved for each knob's default ("special")
   /// value in the projected decoding.
   double projection_special_bias = 0.2;
+  /// Collect per-iteration tuner-quality diagnostics (calibration,
+  /// regret, model health). Also enabled by `DBTUNE_SESSION_DIAGNOSTICS`.
+  /// Diagnostics never perturb the tuning trajectory.
+  bool diagnostics = false;
+  /// Labels this session's per-session registry metrics and report rows.
+  /// Empty → "default".
+  std::string session_label;
+  /// When non-empty, Prometheus text-format snapshots of the metrics
+  /// registry are written here (atomic rename) on the exporter's cadence
+  /// plus once at session end. Empty → fall back to
+  /// `DBTUNE_METRICS_EXPORT`.
+  std::string metrics_export_path;
 };
 
 /// Drives `iterations` suggest/evaluate/observe rounds of `optimizer`

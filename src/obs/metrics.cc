@@ -36,6 +36,14 @@ void Gauge::Add(double delta) {
   }
 }
 
+void Gauge::Max(double candidate) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (candidate > current &&
+         !value_.compare_exchange_weak(current, candidate,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 size_t Histogram::BucketIndex(uint64_t nanos) {
   if (nanos < kSub) return static_cast<size_t>(nanos);
   const size_t octave = 63 - static_cast<size_t>(std::countl_zero(nanos));
@@ -150,37 +158,105 @@ void MetricsRegistry::Reset() {
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
-std::string MetricsRegistry::ToJson() const {
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char raw : value) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
   MutexLock lock(&mu_);
-  std::string out = "{\"counters\":{";
-  char buffer[256];
-  bool first = true;
+  snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
-    std::snprintf(buffer, sizeof(buffer), "%s\"%s\":%llu",
-                  first ? "" : ",", name.c_str(),
-                  static_cast<unsigned long long>(counter->value()));
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.count = histogram->count();
+    value.sum_seconds = histogram->sum_seconds();
+    value.p50_seconds = histogram->Percentile(0.50);
+    value.p95_seconds = histogram->Percentile(0.95);
+    value.p99_seconds = histogram->Percentile(0.99);
+    snapshot.histograms.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  // Built from a snapshot: names are escaped (they are caller-supplied
+  // and may contain quotes or control characters) and values formatted
+  // into a fixed-size numeric buffer — a hostile name can no longer
+  // truncate the line or break the JSON.
+  const MetricsSnapshot snapshot = Snapshot();
+  char buffer[192];
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& counter : snapshot.counters) {
+    if (!first) out += ',';
+    out += '"';
+    out += JsonEscape(counter.name);
+    std::snprintf(buffer, sizeof(buffer), "\":%llu",
+                  static_cast<unsigned long long>(counter.value));
     out += buffer;
     first = false;
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& [name, gauge] : gauges_) {
-    std::snprintf(buffer, sizeof(buffer), "%s\"%s\":%.9g",
-                  first ? "" : ",", name.c_str(), gauge->value());
+  for (const auto& gauge : snapshot.gauges) {
+    if (!first) out += ',';
+    out += '"';
+    out += JsonEscape(gauge.name);
+    std::snprintf(buffer, sizeof(buffer), "\":%.9g", gauge.value);
     out += buffer;
     first = false;
   }
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& [name, histogram] : histograms_) {
-    std::snprintf(
-        buffer, sizeof(buffer),
-        "%s\"%s\":{\"count\":%llu,\"sum_s\":%.9g,\"p50_s\":%.9g,"
-        "\"p95_s\":%.9g,\"p99_s\":%.9g}",
-        first ? "" : ",", name.c_str(),
-        static_cast<unsigned long long>(histogram->count()),
-        histogram->sum_seconds(), histogram->Percentile(0.50),
-        histogram->Percentile(0.95), histogram->Percentile(0.99));
+  for (const auto& histogram : snapshot.histograms) {
+    if (!first) out += ',';
+    out += '"';
+    out += JsonEscape(histogram.name);
+    std::snprintf(buffer, sizeof(buffer),
+                  "\":{\"count\":%llu,\"sum_s\":%.9g,\"p50_s\":%.9g,"
+                  "\"p95_s\":%.9g,\"p99_s\":%.9g}",
+                  static_cast<unsigned long long>(histogram.count),
+                  histogram.sum_seconds, histogram.p50_seconds,
+                  histogram.p95_seconds, histogram.p99_seconds);
     out += buffer;
     first = false;
   }

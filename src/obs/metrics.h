@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/clock.h"
 #include "util/mutex.h"
@@ -58,6 +59,9 @@ class Gauge {
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
   /// Adds `delta`; used for accumulated quantities like busy seconds.
   void Add(double delta);
+  /// Raises the value to `candidate` when larger (lock-free CAS); used
+  /// for running peaks like the pool's maximum queue depth.
+  void Max(double candidate);
   double value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
@@ -94,6 +98,37 @@ class Histogram {
   std::atomic<uint64_t> sum_nanos_{0};
 };
 
+/// Point-in-time copy of every registered metric, sorted by name. The
+/// export layer (obs/metrics_export) renders snapshots rather than
+/// walking the registry, so exports are internally consistent and the
+/// registry mutex is held only for the copy.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    uint64_t count = 0;
+    double sum_seconds = 0.0;
+    double p50_seconds = 0.0;
+    double p95_seconds = 0.0;
+    double p99_seconds = 0.0;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// JSON string-escapes `value`: quote, backslash, and control characters
+/// (the latter as \u00XX) — metric names are caller-supplied and must not
+/// be able to break the exported document.
+std::string JsonEscape(const std::string& value);
+
 /// Name-addressed registry of all metrics in the process. Names are
 /// stored in sorted maps so every export is deterministically ordered.
 class MetricsRegistry {
@@ -114,6 +149,9 @@ class MetricsRegistry {
 
   /// Zeroes every metric's value. Registrations (and handles) survive.
   void Reset();
+
+  /// Consistent point-in-time copy of every metric (sorted by name).
+  MetricsSnapshot Snapshot() const;
 
   /// One-line JSON snapshot with deterministic field ordering:
   /// {"counters":{...},"gauges":{...},"histograms":{...}}. Histograms
@@ -152,6 +190,30 @@ class ScopedLatency {
  private:
   Histogram* histogram_;
   uint64_t start_nanos_;
+};
+
+/// Test-only RAII guard around the metrics state: flips recording to
+/// `enable` for the scope, then restores the previous flag and zeroes
+/// every metric value on destruction (handles stay valid — `Reset()`
+/// never unregisters). Replaces the save-flag / restore / manual-Reset
+/// boilerplate that tests used to hand-roll and routinely forgot.
+class ScopedMetricsForTest {
+ public:
+  explicit ScopedMetricsForTest(bool enable = true)
+      : previous_(MetricsEnabled()) {
+    SetMetricsEnabled(enable);
+    MetricsRegistry::Get().Reset();
+  }
+  ~ScopedMetricsForTest() {
+    SetMetricsEnabled(previous_);
+    MetricsRegistry::Get().Reset();
+  }
+
+  ScopedMetricsForTest(const ScopedMetricsForTest&) = delete;
+  ScopedMetricsForTest& operator=(const ScopedMetricsForTest&) = delete;
+
+ private:
+  bool previous_;
 };
 
 }  // namespace dbtune::obs

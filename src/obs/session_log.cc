@@ -32,6 +32,7 @@ SessionLogger& SessionLogger::operator=(SessionLogger&& other) noexcept {
 
 void SessionLogger::Close() {
   if (file_ != nullptr) {
+    std::fflush(file_);
     std::fclose(file_);
     file_ = nullptr;
   }
@@ -40,14 +41,34 @@ void SessionLogger::Close() {
 void SessionLogger::Log(const SessionIterationRecord& record) {
   if (file_ == nullptr) return;
   // Fixed field order and formats: the line layout is part of the
-  // deterministic-output contract.
+  // deterministic-output contract. The diagnostics fields are additive
+  // and versioned — with diagnostics off, the line is byte-identical to
+  // the pre-diagnostics format.
   std::fprintf(file_,
                "{\"iter\":%zu,\"suggest_s\":%.9f,\"evaluate_s\":%.9f,"
                "\"observe_s\":%.9f,\"score\":%.9g,\"best_score\":%.9g,"
-               "\"improvement_pct\":%.9g}\n",
+               "\"improvement_pct\":%.9g",
                record.iteration, record.suggest_seconds,
                record.evaluate_seconds, record.observe_seconds, record.score,
                record.best_score, record.improvement_percent);
+  if (record.has_diagnostics) {
+    const IterationDiagnostics& d = record.diagnostics;
+    std::fprintf(
+        file_,
+        ",\"diag_v\":%d,\"pred\":%d,\"zres\":%.9g,\"nlpd\":%.9g,"
+        "\"cov68\":%.9g,\"cov95\":%.9g,\"regret\":%.9g,\"cum_regret\":%.9g,"
+        "\"stall\":%zu,\"ewma_improve\":%.9g,\"acq_best\":%.9g,"
+        "\"acq_spread\":%.9g,\"inc_fit_rate\":%.9g,"
+        "\"sparse_escalations\":%llu,\"hyperopt_runs\":%llu",
+        kDiagnosticsSchemaVersion, d.has_prediction ? 1 : 0,
+        d.standardized_residual, d.nlpd, d.coverage68, d.coverage95,
+        d.simple_regret, d.cumulative_regret, d.iterations_since_improvement,
+        d.improvement_ewma, d.acquisition_best, d.acquisition_spread,
+        d.incremental_fit_rate,
+        static_cast<unsigned long long>(d.sparse_escalations),
+        static_cast<unsigned long long>(d.hyperopt_runs));
+  }
+  std::fputs("}\n", file_);
   std::fflush(file_);
 }
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/diagnostics.h"
+
 namespace dbtune::obs {
 
 /// One tuning-loop iteration as logged to the session JSONL file.
@@ -18,6 +20,10 @@ struct SessionIterationRecord {
   double best_score = 0.0;
   /// Best-so-far improvement (%) over the default configuration.
   double improvement_percent = 0.0;
+  /// When set, the versioned `diag_v` fields are appended to the line.
+  /// The base fields above keep their exact byte layout either way.
+  bool has_diagnostics = false;
+  IterationDiagnostics diagnostics;
 };
 
 /// Append-only JSONL sink for per-iteration session records: one JSON
@@ -44,14 +50,16 @@ class SessionLogger {
   /// Writes one record as a single JSON line and flushes it.
   void Log(const SessionIterationRecord& record);
 
+  /// Flushes and closes the file. Idempotent: safe to call repeatedly
+  /// and again from the destructor; the logger is disabled afterwards.
+  void Close();
+
   /// Resolves the session-log path: `explicit_path` when non-empty,
   /// otherwise the `DBTUNE_SESSION_LOG` environment variable, otherwise
   /// "" (disabled).
   static std::string ResolvePath(const std::string& explicit_path);
 
  private:
-  void Close();
-
   std::FILE* file_ = nullptr;
 };
 

@@ -25,6 +25,7 @@ Configuration GpBoOptimizer::Suggest() {
       obs::MetricsRegistry::Get().histogram("optimizer.suggest.gp_bo");
   obs::ScopedLatency suggest_latency(&suggest_hist);
   DBTUNE_TRACE_SPAN("gp_bo.suggest");
+  suggest_info_ = {};
   if (InitPending()) return NextInit();
   DBTUNE_CHECK(!scores_.empty());
 
@@ -80,13 +81,32 @@ Configuration GpBoOptimizer::Suggest() {
   gp_->PredictMeanVarBatch(snapped, &means, &variances);
   double best_ei = -1.0;
   size_t best_candidate = 0;
+  double ei_sum = 0.0;
+  double ei_sumsq = 0.0;
   for (size_t c = 0; c < candidates.size(); ++c) {
     const double ei = ExpectedImprovement(means[c], variances[c], best);
+    ei_sum += ei;
+    ei_sumsq += ei * ei;
     if (ei > best_ei) {
       best_ei = ei;
       best_candidate = c;
     }
   }
+  // The snapped candidate is the configuration that will be evaluated, so
+  // its (de-standardized) posterior is the one-step-ahead prediction.
+  const ScoreMoments moments = CurrentScoreMoments();
+  suggest_info_.has_prediction = true;
+  suggest_info_.predicted_mean =
+      moments.mean + moments.sd * means[best_candidate];
+  suggest_info_.predicted_variance =
+      moments.sd * moments.sd * variances[best_candidate];
+  suggest_info_.has_acquisition = true;
+  suggest_info_.acquisition_best = best_ei;
+  const double pool = static_cast<double>(candidates.size());
+  const double ei_mean = ei_sum / pool;
+  const double ei_var = std::max(0.0, ei_sumsq / pool - ei_mean * ei_mean);
+  suggest_info_.acquisition_spread = std::sqrt(ei_var);
+  suggest_info_.acquisition_pool = candidates.size();
   return space_.FromUnit(candidates[best_candidate]);
 }
 

@@ -97,6 +97,15 @@ std::vector<double> Optimizer::StandardizedScores() const {
   return out;
 }
 
+Optimizer::ScoreMoments Optimizer::CurrentScoreMoments() const {
+  ScoreMoments moments;
+  if (scores_.empty()) return moments;
+  moments.mean = Mean(scores_);
+  moments.sd = StdDev(scores_);
+  if (moments.sd < 1e-12) moments.sd = 1.0;
+  return moments;
+}
+
 double ExpectedImprovement(double mean, double variance, double best) {
   const double sd = std::sqrt(std::max(variance, 1e-16));
   const double z = (mean - best) / sd;

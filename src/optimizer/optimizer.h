@@ -38,6 +38,27 @@ enum class OptimizerType {
 /// Display name ("Vanilla BO", "SMAC", ...).
 const char* OptimizerTypeName(OptimizerType type);
 
+/// What the optimizer believed about its latest suggestion, for the
+/// session diagnostics layer: the surrogate's predictive distribution at
+/// the suggested point (raw score units) and the acquisition landscape
+/// over the candidate pool. Model-free optimizers and warm-start /
+/// random-fallback iterations leave everything false/zero. Filling this
+/// never consumes randomness or reads the clock.
+struct SuggestInfo {
+  bool has_prediction = false;
+  /// Predictive mean at the suggested point, raw score units.
+  double predicted_mean = 0.0;
+  /// Predictive variance at the suggested point, raw score units squared.
+  double predicted_variance = 0.0;
+  bool has_acquisition = false;
+  /// Acquisition value of the chosen candidate.
+  double acquisition_best = 0.0;
+  /// Population stddev of acquisition values over the candidate pool.
+  double acquisition_spread = 0.0;
+  /// Size of the scored candidate pool.
+  size_t acquisition_pool = 0;
+};
+
 /// Iterative suggest/observe configuration optimizer (the paper's
 /// configuration-optimization module).
 ///
@@ -77,6 +98,10 @@ class Optimizer {
   /// Configuration achieving `best_score()`.
   const Configuration& best_config() const;
 
+  /// Diagnostics of the most recent `Suggest()` call. Default (all
+  /// false/zero) until a model-based suggestion has been made.
+  const SuggestInfo& last_suggest_info() const { return suggest_info_; }
+
  protected:
   /// True while LHS warm-start configurations remain to be suggested.
   bool InitPending() const {
@@ -89,9 +114,21 @@ class Optimizer {
   /// Standardized copy of `scores_` (mean 0, stddev 1).
   std::vector<double> StandardizedScores() const;
 
+  /// The standardization applied by `StandardizedScores` (identical
+  /// guard: stddev < 1e-12 → 1). Used to map z-space surrogate
+  /// predictions back to raw score units for `SuggestInfo`.
+  struct ScoreMoments {
+    double mean = 0.0;
+    double sd = 1.0;
+  };
+  ScoreMoments CurrentScoreMoments() const;
+
   ConfigurationSpace space_;
   OptimizerOptions options_;
   Rng rng_;
+
+  /// Written by each model-based `Suggest()`; cleared on non-model paths.
+  SuggestInfo suggest_info_;
 
   /// Unit-encoded evaluated configurations, observation order.
   FeatureMatrix unit_history_;

@@ -29,6 +29,9 @@ ProjectedOptimizer::ProjectedOptimizer(const ConfigurationSpace& space,
 
 Configuration ProjectedOptimizer::Suggest() {
   const Configuration low = inner_->Suggest();
+  // The projection is score-preserving, so the inner optimizer's
+  // prediction applies unchanged to the decoded configuration.
+  suggest_info_ = inner_->last_suggest_info();
   pending_low_ = low;
   has_pending_ = true;
   return projection_.Decode(projection_.box().ToUnit(low));

@@ -53,6 +53,7 @@ Configuration SmacOptimizer::Suggest() {
       obs::MetricsRegistry::Get().histogram("optimizer.suggest.smac");
   obs::ScopedLatency suggest_latency(&suggest_hist);
   DBTUNE_TRACE_SPAN("smac.suggest");
+  suggest_info_ = {};
   if (InitPending()) return NextInit();
   DBTUNE_CHECK(!scores_.empty());
   if (rng_.Bernoulli(smac_options_.random_interleave)) {
@@ -145,6 +146,29 @@ Configuration SmacOptimizer::Suggest() {
       best_unit = current;
     }
   }
+
+  // One deterministic posterior query at the winner (it may have moved
+  // during the hill climb), de-standardized to raw score units.
+  double win_mean = 0.0;
+  double win_var = 0.0;
+  forest_.PredictMeanVar(space_.SnapUnit(best_unit), &win_mean, &win_var);
+  const ScoreMoments moments = CurrentScoreMoments();
+  suggest_info_.has_prediction = true;
+  suggest_info_.predicted_mean = moments.mean + moments.sd * win_mean;
+  suggest_info_.predicted_variance = moments.sd * moments.sd * win_var;
+  suggest_info_.has_acquisition = true;
+  suggest_info_.acquisition_best = best_ei;
+  double ei_sum = 0.0;
+  double ei_sumsq = 0.0;
+  for (double v : ei) {
+    ei_sum += v;
+    ei_sumsq += v * v;
+  }
+  const double pool = static_cast<double>(ei.size());
+  const double ei_mean = ei_sum / pool;
+  suggest_info_.acquisition_spread =
+      std::sqrt(std::max(0.0, ei_sumsq / pool - ei_mean * ei_mean));
+  suggest_info_.acquisition_pool = ei.size();
   return space_.FromUnit(best_unit);
 }
 

@@ -190,6 +190,11 @@ Status GaussianProcess::Fit(const FeatureMatrix& x,
   // grid (the noise enters through the diagonal of the copy inside
   // FactorizeWith). The winning factorization is kept and installed at
   // the end — no redundant final refit of the best grid point.
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& hyperopt_runs =
+        obs::MetricsRegistry::Get().counter("gp.hyperopt.runs");
+    hyperopt_runs.Increment();
+  }
   double best_lml = -1e300;
   double best_ls = options_.lengthscale_grid.front();
   double best_noise = options_.noise_grid.front();

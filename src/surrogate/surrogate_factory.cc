@@ -1,5 +1,6 @@
 #include "surrogate/surrogate_factory.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace dbtune {
@@ -33,6 +34,13 @@ Status TieredGpSurrogate::Fit(const FeatureMatrix& x,
       (tier_options_.tier == SurrogateTier::kAuto &&
        x.size() > tier_options_.sparse_crossover);
   if (use_sparse) {
+    if (active_ != nullptr && active_ == exact_.get() &&
+        obs::MetricsEnabled()) {
+      // First crossing from the exact to the sparse tier.
+      static obs::Counter& escalations =
+          obs::MetricsRegistry::Get().counter("surrogate.tier.escalations");
+      escalations.Increment();
+    }
     if (!sparse_) {
       // The sparse tier inherits the exact GP's hyper-parameter search
       // (same grids, same cadence) so escalation changes the fit cost,

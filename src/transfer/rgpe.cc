@@ -66,6 +66,7 @@ Configuration RgpeOptimizer::Suggest() {
       obs::MetricsRegistry::Get().histogram("optimizer.suggest.rgpe");
   obs::ScopedLatency suggest_latency(&suggest_hist);
   DBTUNE_TRACE_SPAN("rgpe.suggest");
+  suggest_info_ = {};
   if (InitPending()) return NextInit();
   DBTUNE_CHECK(!scores_.empty());
   FitBaseModels();
@@ -205,6 +206,10 @@ Configuration RgpeOptimizer::Suggest() {
   }
   double best_ei = -1.0;
   size_t best_candidate = 0;
+  double best_mean_z = 0.0;
+  double best_var_z = 0.0;
+  double ei_sum = 0.0;
+  double ei_sumsq = 0.0;
   std::vector<double> mus(active.size());
   std::vector<double> vars(active.size());
   for (size_t c = 0; c < candidates.size(); ++c) {
@@ -215,11 +220,28 @@ Configuration RgpeOptimizer::Suggest() {
     double mean = 0.0, var = 0.0;
     MixtureMeanVar(active_weights, mus, vars, &mean, &var);
     const double ei = ExpectedImprovement(mean, var, best);
+    ei_sum += ei;
+    ei_sumsq += ei * ei;
     if (ei > best_ei) {
       best_ei = ei;
       best_candidate = c;
+      best_mean_z = mean;
+      best_var_z = var;
     }
   }
+  // The mixture posterior at the winner, de-standardized: the target's
+  // StandardizeScores applies the same moments as CurrentScoreMoments.
+  const ScoreMoments moments = CurrentScoreMoments();
+  suggest_info_.has_prediction = true;
+  suggest_info_.predicted_mean = moments.mean + moments.sd * best_mean_z;
+  suggest_info_.predicted_variance = moments.sd * moments.sd * best_var_z;
+  suggest_info_.has_acquisition = true;
+  suggest_info_.acquisition_best = best_ei;
+  const double pool = static_cast<double>(candidates.size());
+  const double ei_mean = ei_sum / pool;
+  suggest_info_.acquisition_spread =
+      std::sqrt(std::max(0.0, ei_sumsq / pool - ei_mean * ei_mean));
+  suggest_info_.acquisition_pool = candidates.size();
   return space_.FromUnit(candidates[best_candidate]);
 }
 

@@ -51,6 +51,9 @@ void ThreadPool::Submit(std::function<void()> task) {
       static obs::Gauge& depth =
           obs::MetricsRegistry::Get().gauge("pool.queue_depth");
       depth.Set(static_cast<double>(queue_.size()));
+      static obs::Gauge& peak =
+          obs::MetricsRegistry::Get().gauge("pool.queue_depth_peak");
+      peak.Max(static_cast<double>(queue_.size()));
     }
   }
   cv_.NotifyOne();

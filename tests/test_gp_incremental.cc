@@ -119,8 +119,7 @@ TEST(GpIncrementalTest, MultiRowAppendMatchesFullRefactorization) {
 TEST(GpIncrementalTest, IncrementalPathActuallyRuns) {
   // Guard against the equality tests passing vacuously because every fit
   // silently fell back to a full refactorization.
-  const bool metrics_were_enabled = obs::MetricsEnabled();
-  obs::SetMetricsEnabled(true);
+  obs::ScopedMetricsForTest metrics_on;
   const uint64_t before = IncrementalFitCount();
   const FeatureMatrix x = MakeInputs(30, 3, 17);
   const std::vector<double> y = MakeTargets(x);
@@ -133,7 +132,6 @@ TEST(GpIncrementalTest, IncrementalPathActuallyRuns) {
   }
   // First fit runs the grid; the four extensions all append.
   EXPECT_EQ(IncrementalFitCount() - before, 4u);
-  obs::SetMetricsEnabled(metrics_were_enabled);
 }
 
 TEST(GpIncrementalTest, ShrunkHistoryFallsBackAndRefreshesHyperopt) {

@@ -166,6 +166,24 @@ TEST(LintTest, GpConstructionRuleOnlyAppliesUnderOptimizer) {
   EXPECT_EQ(CountRule(findings, "gp-construction"), 0);
 }
 
+TEST(LintTest, MetricsExportRuleFiresOutsideObs) {
+  const auto findings = LintFile(FixturePath("bad_metrics_export.cc"),
+                                 "bad_metrics_export.cc");
+  // The MetricsSnapshot forward declaration plus two ToJson mentions;
+  // the allow() line is suppressed.
+  EXPECT_EQ(CountRule(findings, "metrics-export"), 3);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "metrics-export") << dbtune_lint::FormatFinding(f);
+  }
+}
+
+TEST(LintTest, MetricsExportRuleAllowedInObs) {
+  // src/obs owns the snapshot/serialization surface.
+  const auto findings = LintFile(FixturePath("bad_metrics_export.cc"),
+                                 "obs/metrics_export.cc");
+  EXPECT_EQ(CountRule(findings, "metrics-export"), 0);
+}
+
 TEST(LintTest, AllowEscapeHatchSuppressesEveryRule) {
   EXPECT_TRUE(LintFile(FixturePath("allowed.cc"), "allowed.cc").empty());
   EXPECT_TRUE(
@@ -201,6 +219,7 @@ TEST(LintTest, FixtureTreeFindsAllViolations) {
   EXPECT_EQ(CountRule(findings, "raw-timing"), 3);
   EXPECT_EQ(CountRule(findings, "predict-in-loop"), 3);
   EXPECT_EQ(CountRule(findings, "gp-construction"), 3);
+  EXPECT_EQ(CountRule(findings, "metrics-export"), 3);
 }
 
 // The shipped library tree must lint clean — the same invariant the

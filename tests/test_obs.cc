@@ -3,6 +3,7 @@
 // and a single-lane pool, two same-seed sessions must produce
 // byte-identical session logs and trace files.
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
@@ -79,6 +80,37 @@ TEST_F(ObsTest, GaugeSetAndAdd) {
   EXPECT_DOUBLE_EQ(g.value(), 2.0);
 }
 
+TEST_F(ObsTest, GaugeMaxTracksPeak) {
+  obs::Gauge& g = obs::MetricsRegistry::Get().gauge("test.gauge.peak");
+  g.Max(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.Max(1.0);  // lower candidate leaves the peak untouched
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.Max(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+}
+
+TEST_F(ObsTest, ScopedMetricsForTestEnablesAndRestores) {
+  ASSERT_FALSE(obs::MetricsEnabled());
+  obs::MetricsRegistry::Get().counter("test.scoped").Increment(5);
+  {
+    obs::ScopedMetricsForTest metrics_on;
+    // Construction enabled recording and wiped prior values.
+    EXPECT_TRUE(obs::MetricsEnabled());
+    const obs::Counter* c =
+        obs::MetricsRegistry::Get().FindCounter("test.scoped");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), 0u);
+    obs::MetricsRegistry::Get().counter("test.scoped").Increment();
+  }
+  // Destruction restored the previous state and wiped again.
+  EXPECT_FALSE(obs::MetricsEnabled());
+  const obs::Counter* c =
+      obs::MetricsRegistry::Get().FindCounter("test.scoped");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 0u);
+}
+
 TEST_F(ObsTest, FindDoesNotRegister) {
   EXPECT_EQ(obs::MetricsRegistry::Get().FindCounter("test.absent"), nullptr);
   EXPECT_EQ(obs::MetricsRegistry::Get().FindGauge("test.absent"), nullptr);
@@ -136,7 +168,7 @@ TEST_F(ObsTest, ScopedLatencyRecordsOnlyWhenEnabled) {
     obs::ScopedLatency latency(&h);  // metrics disabled: no-op
   }
   EXPECT_EQ(h.count(), 0u);
-  obs::SetMetricsEnabled(true);
+  obs::ScopedMetricsForTest metrics_on;
   {
     obs::ScopedLatency latency(&h);
   }
@@ -160,6 +192,23 @@ TEST_F(ObsTest, RegistryJsonIsSortedAndDeterministic) {
   EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
   EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
   EXPECT_NE(json.find("\"p99_s\":"), std::string::npos);
+}
+
+TEST_F(ObsTest, RegistryJsonEscapesHostileMetricNames) {
+  // Caller-supplied names must not be able to break the JSON document:
+  // quotes, backslashes, and control characters are escaped.
+  obs::MetricsRegistry::Get()
+      .counter("evil\"name\\with\nnewline\tand\x01" "ctl")
+      .Increment();
+  obs::MetricsRegistry::Get().gauge("g\"quote").Set(1.0);
+  const std::string json = obs::MetricsRegistry::Get().ToJson();
+  EXPECT_NE(json.find("evil\\\"name\\\\with\\nnewline\\tand\\u0001ctl"),
+            std::string::npos);
+  EXPECT_NE(json.find("g\\\"quote"), std::string::npos);
+  // No raw control characters survive into the output.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
 }
 
 TEST_F(ObsTest, FakeClockTicksOneMillisecondPerRead) {
@@ -253,11 +302,63 @@ TEST_F(ObsTest, SessionLoggerWritesOneJsonObjectPerLine) {
   EXPECT_EQ(lines, 2u);
 }
 
+TEST_F(ObsTest, SessionLoggerLineFormatIsPinned) {
+  // The v-base line layout is a compatibility contract: with diagnostics
+  // off it must stay byte-identical to the pre-diagnostics format.
+  const std::string path = ::testing::TempDir() + "obs_session_pinned.jsonl";
+  {
+    obs::SessionLogger logger(path);
+    obs::SessionIterationRecord record;
+    record.iteration = 3;
+    record.suggest_seconds = 0.25;
+    record.evaluate_seconds = 1.5;
+    record.observe_seconds = 0.125;
+    record.score = -3.5;
+    record.best_score = -2.25;
+    record.improvement_percent = 12.5;
+    logger.Log(record);
+  }
+  EXPECT_EQ(ReadFile(path),
+            "{\"iter\":3,\"suggest_s\":0.250000000,"
+            "\"evaluate_s\":1.500000000,\"observe_s\":0.125000000,"
+            "\"score\":-3.5,\"best_score\":-2.25,"
+            "\"improvement_pct\":12.5}\n");
+}
+
+TEST_F(ObsTest, SessionLoggerCloseIsIdempotent) {
+  const std::string path = ::testing::TempDir() + "obs_session_close.jsonl";
+  obs::SessionLogger logger(path);
+  ASSERT_TRUE(logger.enabled());
+  obs::SessionIterationRecord record;
+  record.iteration = 1;
+  logger.Log(record);
+  logger.Close();
+  EXPECT_FALSE(logger.enabled());
+  logger.Close();  // second close is a no-op
+  logger.Log(record);  // logging after close is a no-op, not a crash
+  // The line written before Close survived; nothing was appended after.
+  const std::string content = ReadFile(path);
+  EXPECT_EQ(content.find("\"iter\":1,"), 1u);
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 1);
+}
+
+TEST_F(ObsTest, SessionLoggerFlushesOnDestruction) {
+  const std::string path = ::testing::TempDir() + "obs_session_flush.jsonl";
+  {
+    obs::SessionLogger logger(path);
+    obs::SessionIterationRecord record;
+    record.iteration = 7;
+    logger.Log(record);
+    // No explicit Close: the destructor must flush and close.
+  }
+  EXPECT_NE(ReadFile(path).find("\"iter\":7,"), std::string::npos);
+}
+
 // Concurrent recording: counters and histograms are lock-free and must
 // not lose increments under a parallel fan-out (run under TSan via the
 // `threading` label).
 TEST_F(ObsTest, ConcurrentRecordingLosesNothing) {
-  obs::SetMetricsEnabled(true);
+  obs::ScopedMetricsForTest metrics_on;
   PoolSizeGuard guard(8);
   obs::Counter& counter =
       obs::MetricsRegistry::Get().counter("test.concurrent.counter");
@@ -290,7 +391,7 @@ std::vector<size_t> FirstKnobs(size_t n) {
 // byte-identical across runs.
 TEST_F(ObsTest, SessionLogAndTraceAreByteIdenticalAcrossSameSeedRuns) {
   PoolSizeGuard guard(1);
-  obs::SetMetricsEnabled(true);
+  obs::ScopedMetricsForTest metrics_on;
   obs::SetTraceEnabled(true);
 
   auto run = [&](const std::string& tag) {

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/tuning_session.h"
+#include "knobs/catalog.h"
 #include "knobs/knob.h"
 #include "optimizer/gp_bo.h"
 #include "optimizer/projected_optimizer.h"
@@ -382,6 +384,38 @@ TEST(ParallelDeterminismTest, RgpeTrajectory) {
   const std::vector<double> pool1 = run(1);
   EXPECT_EQ(pool1, run(2));
   EXPECT_EQ(pool1, run(8));
+}
+
+// Diagnostics are pure observers: turning the per-session collector on
+// must leave the tuning trajectory bitwise identical at every pool size
+// in the acceptance sweep (the collector never consumes randomness or
+// clock reads that feed the optimizer).
+TEST(ParallelDeterminismTest, DiagnosticsDoNotPerturbTrajectories) {
+  auto run = [](size_t pool_size, bool diagnostics) {
+    PoolSizeGuard guard(pool_size);
+    DbmsSimulator sim(SmallTestCatalog(), WorkloadId::kSysbench,
+                      HardwareInstance::kB, /*seed=*/5);
+    std::vector<size_t> knob_indices(sim.space().dimension());
+    for (size_t i = 0; i < knob_indices.size(); ++i) knob_indices[i] = i;
+    TuningEnvironment env(&sim, knob_indices);
+    OptimizerOptions options;
+    options.seed = 73;
+    std::unique_ptr<Optimizer> optimizer =
+        CreateOptimizer(OptimizerType::kVanillaBo, env.space(), options);
+    SessionControls controls;
+    controls.diagnostics = diagnostics;
+    controls.session_label = "determinism";
+    const SessionResult result =
+        RunTuningSession(&env, optimizer.get(), /*iterations=*/10, controls);
+    std::vector<double> trace = result.objective_trace;
+    trace.insert(trace.end(), result.improvement_trace.begin(),
+                 result.improvement_trace.end());
+    return trace;
+  };
+  const std::vector<double> baseline = run(1, /*diagnostics=*/false);
+  EXPECT_EQ(baseline, run(1, /*diagnostics=*/true));
+  EXPECT_EQ(baseline, run(2, /*diagnostics=*/true));
+  EXPECT_EQ(baseline, run(8, /*diagnostics=*/true));
 }
 
 }  // namespace

@@ -154,10 +154,11 @@ void Report(const LineContext& ctx, const std::string& rule,
 }
 
 /// Scans one stripped line for identifier-token rules (random-seed,
-/// naked-new, using-namespace-std, raw-timing, gp-construction).
+/// naked-new, using-namespace-std, raw-timing, gp-construction,
+/// metrics-export).
 void ScanTokens(const LineContext& ctx, const std::string& stripped,
                 bool random_rules_apply, bool timing_rules_apply,
-                bool gp_rules_apply) {
+                bool gp_rules_apply, bool metrics_export_rules_apply) {
   size_t i = 0;
   std::vector<std::string> idents;  // in order, for the using-namespace scan
   while (i < stripped.size()) {
@@ -205,6 +206,16 @@ void ScanTokens(const LineContext& ctx, const std::string& stripped,
                  " use in optimizer code — obtain GP surrogates through "
                  "surrogate_factory's CreateGpSurrogate so long histories "
                  "escalate to the sparse tier");
+    }
+
+    if (metrics_export_rules_apply &&
+        (ident == "MetricsSnapshot" || ident == "ToJson")) {
+      Report(ctx, "metrics-export",
+             "direct registry iteration (" + ident +
+                 ") outside src/obs — render metrics through "
+                 "obs/metrics_export (RenderPrometheus / "
+                 "WritePrometheusSnapshot) so exports stay consistently "
+                 "escaped and named");
     }
 
     if (ident == "new") {
@@ -321,6 +332,9 @@ std::vector<Finding> LintSource(const std::string& display_path,
   // surrogates must come from the tiered factory.
   const bool predict_rules_apply = StartsWith(relpath, "optimizer/");
   const bool gp_rules_apply = StartsWith(relpath, "optimizer/");
+  // src/obs owns the registry's snapshot/serialization surface; all other
+  // code must export through obs/metrics_export.
+  const bool metrics_export_rules_apply = !StartsWith(relpath, "obs/");
   LoopTracker loop_tracker;
 
   std::istringstream stream(content);
@@ -378,7 +392,7 @@ std::vector<Finding> LintSource(const std::string& display_path,
     }
 
     ScanTokens(ctx, stripped, random_rules_apply, timing_rules_apply,
-               gp_rules_apply);
+               gp_rules_apply, metrics_export_rules_apply);
     if (predict_rules_apply) {
       ScanPredictInLoop(ctx, stripped, &loop_tracker);
     }

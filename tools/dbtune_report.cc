@@ -1,0 +1,66 @@
+// CLI: dbtune_report [-o report.md] session.jsonl [more.jsonl ...]
+//
+// Ingests session JSONL files written by obs::SessionLogger and renders
+// a markdown report (best-score sparklines, diagnostics summary, latency
+// percentiles). Writes to stdout unless -o is given. Exits nonzero when
+// an input file cannot be read.
+
+#include "dbtune_report_lib.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::string output_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      std::fprintf(stderr,
+                   "usage: dbtune_report [-o report.md] session.jsonl ...\n");
+      return 0;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: dbtune_report [-o report.md] session.jsonl ...\n");
+    return 2;
+  }
+
+  std::vector<dbtune_report::SessionData> sessions;
+  sessions.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "dbtune_report: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    sessions.push_back(
+        dbtune_report::ParseSessionJsonl(path, buffer.str()));
+  }
+
+  const std::string report =
+      dbtune_report::RenderMarkdownReport(sessions);
+  if (output_path.empty()) {
+    std::fwrite(report.data(), 1, report.size(), stdout);
+    return 0;
+  }
+  std::FILE* out = std::fopen(output_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "dbtune_report: cannot write %s\n",
+                 output_path.c_str());
+    return 1;
+  }
+  std::fwrite(report.data(), 1, report.size(), out);
+  std::fclose(out);
+  return 0;
+}

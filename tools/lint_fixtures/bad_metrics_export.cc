@@ -1,0 +1,20 @@
+// Fixture: direct registry iteration/serialization outside src/obs.
+#include <string>
+
+namespace dbtune::obs {
+struct MetricsSnapshot;
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+  std::string ToJson() const;
+};
+}  // namespace dbtune::obs
+
+std::string DumpMetricsByHand() {
+  // Hand-rolled exports bypass the escaping and naming rules.
+  return dbtune::obs::MetricsRegistry::Get().ToJson();
+}
+
+std::string DumpMetricsSanctioned() {
+  return dbtune::obs::MetricsRegistry::Get().ToJson();  // dbtune-lint: allow(metrics-export)
+}
