@@ -1,0 +1,129 @@
+// dbtune_analyze — determinism-aware static analyzer CLI.
+//
+// Usage:
+//   dbtune_analyze [--format=text|json] [--baseline=FILE] [--output=FILE]
+//                  [--list-checks] <root-dir>...
+//
+// Analyzes every .h/.cc under each root (skipping lint_fixtures/, build/
+// and hidden directories). Exit codes: 0 = clean (all findings baselined
+// or none), 1 = non-baselined findings, 2 = usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dbtune_analyze_lib.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dbtune_analyze [--format=text|json] [--baseline=FILE]"
+               " [--output=FILE] [--list-checks] <root-dir>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::string baseline_path;
+  std::string output_path;
+  bool list_checks = false;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(std::strlen("--format="));
+      if (format != "text" && format != "json") return Usage();
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(std::strlen("--baseline="));
+    } else if (arg.rfind("--output=", 0) == 0) {
+      output_path = arg.substr(std::strlen("--output="));
+    } else if (arg == "--list-checks") {
+      list_checks = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+
+  if (list_checks) {
+    for (const dbtune_analyze::CheckInfo& check : dbtune_analyze::Checks()) {
+      std::printf("%-25s %-8s %s\n", check.id, check.severity, check.summary);
+    }
+    return 0;
+  }
+  if (roots.empty()) return Usage();
+
+  std::vector<dbtune_analyze::BaselineEntry> baseline;
+  if (!baseline_path.empty() &&
+      !dbtune_analyze::LoadBaselineFile(baseline_path, &baseline)) {
+    std::fprintf(stderr, "dbtune_analyze: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  std::vector<dbtune_analyze::Diagnostic> diagnostics;
+  size_t files_analyzed = 0;
+  for (const std::string& root : roots) {
+    dbtune_analyze::TreeReport report = dbtune_analyze::AnalyzeTree(root);
+    files_analyzed += report.files_analyzed;
+    diagnostics.insert(diagnostics.end(), report.diagnostics.begin(),
+                       report.diagnostics.end());
+  }
+  dbtune_analyze::ApplyBaseline(baseline, &diagnostics);
+
+  size_t fresh = 0;
+  for (const dbtune_analyze::Diagnostic& d : diagnostics) {
+    if (!d.baselined) ++fresh;
+  }
+
+  const std::string rendered =
+      format == "json"
+          ? dbtune_analyze::ReportJson(diagnostics, files_analyzed)
+          : std::string();
+  if (!output_path.empty()) {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::fprintf(stderr, "dbtune_analyze: cannot write %s\n",
+                   output_path.c_str());
+      return 2;
+    }
+    out << (format == "json" ? rendered : std::string());
+    if (format == "text") {
+      for (const dbtune_analyze::Diagnostic& d : diagnostics) {
+        out << dbtune_analyze::FormatDiagnostic(d) << "\n";
+      }
+    }
+  }
+
+  if (format == "json") {
+    if (output_path.empty()) std::printf("%s\n", rendered.c_str());
+    // Humans reading CI logs still get the findings on stderr.
+    for (const dbtune_analyze::Diagnostic& d : diagnostics) {
+      if (d.baselined) continue;
+      std::fprintf(stderr, "%s\n",
+                   dbtune_analyze::FormatDiagnostic(d).c_str());
+    }
+  } else {
+    for (const dbtune_analyze::Diagnostic& d : diagnostics) {
+      if (d.baselined) continue;
+      std::printf("%s\n", dbtune_analyze::FormatDiagnostic(d).c_str());
+    }
+  }
+
+  if (fresh > 0) {
+    std::fprintf(stderr,
+                 "dbtune_analyze: %zu non-baselined finding(s) across %zu "
+                 "file(s)\n",
+                 fresh, files_analyzed);
+    return 1;
+  }
+  std::fprintf(stderr, "dbtune_analyze: clean (%zu files, %zu baselined)\n",
+               files_analyzed, diagnostics.size());
+  return 0;
+}

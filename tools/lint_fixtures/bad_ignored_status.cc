@@ -1,0 +1,24 @@
+// Status/Result values discarded through the forms [[nodiscard]] cannot
+// catch: bare statements survive without -Werror, and the cast/comma
+// forms are explicit discards that silently swallow errors.
+#include <string>
+
+namespace dbtune {
+
+struct Status {
+  bool ok() const;
+  static Status OK();
+};
+
+Status Flush();
+Status Append(const std::string& line);
+
+int LoseErrors() {
+  Flush();                      // bare call statement
+  (void)Append("x");            // (void) cast
+  static_cast<void>(Flush());   // static_cast<void>
+  int count = (Append("y"), 0); // comma operator
+  return count;
+}
+
+}  // namespace dbtune

@@ -1,0 +1,27 @@
+#ifndef DBTUNE_BAD_MUTEX_GUARD_GAP_H_
+#define DBTUNE_BAD_MUTEX_GUARD_GAP_H_
+
+// A member annotated DBTUNE_GUARDED_BY read without its mutex held: the
+// unlocked read races every locked writer.
+
+namespace dbtune {
+
+class Mutex;
+class MutexLock;
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(&mu_);
+    value_ = value_ + 1;
+  }
+  long Peek() const { return value_; }  // no MutexLock in scope
+
+ private:
+  mutable Mutex* mu_;
+  long value_ DBTUNE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_BAD_MUTEX_GUARD_GAP_H_

@@ -1,0 +1,37 @@
+// += / -= on shared state inside a ParallelFor/Submit lambda: chunks
+// finish in scheduling order, so the floating-point accumulation order
+// (and therefore the rounded result) depends on the pool size.
+#include <cstddef>
+#include <vector>
+
+namespace dbtune {
+
+class ThreadPool {
+ public:
+  template <typename Fn>
+  void Submit(Fn fn);
+};
+
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 Fn fn);
+
+double SumEi(ThreadPool* pool, const std::vector<double>& ei) {
+  double ei_sum = 0.0;
+  ParallelFor(pool, 0, ei.size(), 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ei_sum += ei[i];  // scheduling-order reduction
+    }
+  });
+  return ei_sum;
+}
+
+void DriftCorrection(ThreadPool* pool, double correction, double* out) {
+  double drift = 0.0;
+  pool->Submit([&] {
+    drift -= correction;  // same class through Submit
+  });
+  *out = drift;
+}
+
+}  // namespace dbtune

@@ -1,0 +1,40 @@
+// Reproduces the PR 6 crash class: a thread_local scratch buffer sized
+// by the caller is named inside a lambda handed to ParallelFor/Submit.
+// Each pool worker resolves the name to its OWN (empty, never-resized)
+// thread_local instance, so the writes land out of bounds whenever the
+// pool actually has workers.
+#include <cstddef>
+#include <vector>
+
+namespace dbtune {
+
+class ThreadPool {
+ public:
+  template <typename Fn>
+  void Submit(Fn fn);
+};
+
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 Fn fn);
+
+double PredictScratch(ThreadPool* pool, const std::vector<double>& x) {
+  static thread_local std::vector<double> k_star;
+  k_star.assign(x.size(), 0.0);
+  ParallelFor(pool, 0, x.size(), 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      k_star[i] = x[i] * 0.5;  // worker's own empty vector: OOB write
+    }
+  });
+  return k_star.empty() ? 0.0 : k_star[0];
+}
+
+void FlushScratch(ThreadPool* io) {
+  static thread_local std::vector<double> scratch;
+  scratch.resize(16);
+  io->Submit([&] {
+    scratch[0] = 1.0;  // same bug through ThreadPool::Submit
+  });
+}
+
+}  // namespace dbtune

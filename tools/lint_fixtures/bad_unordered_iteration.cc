@@ -1,0 +1,25 @@
+// Iterating an unordered container while accumulating floats or writing
+// output: the visit order is the hash order, which is unspecified and
+// differs across standard libraries — results are not reproducible.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dbtune {
+
+double SumScores(const std::unordered_map<std::string, double>& scores) {
+  double total = 0.0;
+  for (const auto& entry : scores) {
+    total += entry.second;  // float reduction in hash order
+  }
+  return total;
+}
+
+void CollectKeys(const std::unordered_map<std::string, double>& scores,
+                 std::vector<std::string>* out) {
+  for (const auto& entry : scores) {
+    out->push_back(entry.first);  // output emitted in hash order
+  }
+}
+
+}  // namespace dbtune

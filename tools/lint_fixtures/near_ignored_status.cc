@@ -1,0 +1,25 @@
+// Handled Status values next to bad_ignored_status.cc: stored, checked
+// inline, wrapped in the error-propagation macro, or returned.
+#include <string>
+
+namespace dbtune {
+
+struct Status {
+  bool ok() const;
+  static Status OK();
+};
+
+Status Flush();
+Status Append(const std::string& line);
+
+Status SaveAll() {
+  Status flushed = Flush();  // stored
+  if (!flushed.ok()) return flushed;
+  if (!Append("x").ok()) {  // checked inline
+    return flushed;
+  }
+  DBTUNE_RETURN_IF_ERROR(Flush());  // macro argument, not a discard
+  return Append("y");               // returned
+}
+
+}  // namespace dbtune

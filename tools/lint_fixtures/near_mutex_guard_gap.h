@@ -1,0 +1,32 @@
+#ifndef DBTUNE_NEAR_MUTEX_GUARD_GAP_H_
+#define DBTUNE_NEAR_MUTEX_GUARD_GAP_H_
+
+// The sanctioned access patterns next to bad_mutex_guard_gap.h: take the
+// lock in scope, or push the obligation to the caller via
+// DBTUNE_REQUIRES.
+
+namespace dbtune {
+
+class Mutex;
+class MutexLock;
+
+class SafeCounter {
+ public:
+  void Increment() {
+    MutexLock lock(&mu_);
+    value_ = value_ + 1;
+  }
+  long Peek() const {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+  long PeekLocked() const DBTUNE_REQUIRES(mu_) { return value_; }
+
+ private:
+  mutable Mutex* mu_;
+  long value_ DBTUNE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dbtune
+
+#endif  // DBTUNE_NEAR_MUTEX_GUARD_GAP_H_

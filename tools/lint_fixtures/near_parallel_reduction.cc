@@ -1,0 +1,34 @@
+// The sanctioned reduction next to bad_parallel_reduction.cc: each chunk
+// accumulates into a lambda-local, deposits it into a chunk-indexed slot,
+// and one thread reduces the partials chunk-ascending afterwards. The
+// result is bitwise identical at any pool size.
+#include <cstddef>
+#include <vector>
+
+namespace dbtune {
+
+class ThreadPool;
+
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 Fn fn);
+
+double SumEiDeterministic(ThreadPool* pool, const std::vector<double>& ei) {
+  const size_t grain = 64;
+  const size_t chunks = (ei.size() + grain - 1) / grain;
+  std::vector<double> partials(chunks, 0.0);
+  ParallelFor(pool, 0, ei.size(), grain, [&](size_t begin, size_t end) {
+    double local = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      local += ei[i];  // lambda-local: private to this chunk
+    }
+    partials[begin / grain] = local;  // chunk-owned slot
+  });
+  double total = 0.0;
+  for (size_t c = 0; c < partials.size(); ++c) {
+    total += partials[c];  // sequential, chunk-ascending
+  }
+  return total;
+}
+
+}  // namespace dbtune

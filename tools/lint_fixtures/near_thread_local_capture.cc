@@ -1,0 +1,48 @@
+// The sanctioned patterns next to bad_thread_local_capture.cc: workers
+// write through a pointer captured by value (the PR 6 fix), or declare
+// the thread_local inside the lambda body so each worker owns it.
+#include <cstddef>
+#include <vector>
+
+namespace dbtune {
+
+class ThreadPool {
+ public:
+  template <typename Fn>
+  void Submit(Fn fn);
+};
+
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 Fn fn);
+
+// PR 6 fix shape: the caller resizes its thread_local, then captures the
+// data pointer by value so every worker writes the caller's buffer.
+double PredictFixed(ThreadPool* pool, const std::vector<double>& x) {
+  static thread_local std::vector<double> k_star;
+  k_star.assign(x.size(), 0.0);
+  double* const k_star_out = k_star.data();
+  ParallelFor(pool, 0, x.size(), 64,
+              [&, k_star_out](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  k_star_out[i] = x[i] * 0.5;
+                }
+              });
+  return k_star.empty() ? 0.0 : k_star[0];
+}
+
+// A thread_local declared inside the lambda body is worker-owned state:
+// every worker sizes its own instance before using it.
+void AccumulateWorkerLocal(ThreadPool* pool, const std::vector<double>& x,
+                           std::vector<double>* partials) {
+  ParallelFor(pool, 0, x.size(), 64, [&](size_t begin, size_t end) {
+    static thread_local std::vector<double> scratch;
+    scratch.assign(end - begin, 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      scratch[i - begin] = x[i];
+    }
+    (*partials)[begin / 64] = scratch.empty() ? 0.0 : scratch[0];
+  });
+}
+
+}  // namespace dbtune

@@ -1,0 +1,40 @@
+// The sanctioned patterns next to bad_unordered_iteration.cc: snapshot
+// and sort before accumulating, point lookups, or an ordered std::map.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dbtune {
+
+// Sorted snapshot first: the reduction order is defined.
+double SumScoresSorted(const std::unordered_map<std::string, double>& scores) {
+  std::vector<std::pair<std::string, double>> sorted(scores.begin(),
+                                                     scores.end());
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (const auto& entry : sorted) {
+    total += entry.second;
+  }
+  return total;
+}
+
+// Point lookups against unordered containers are order-free.
+double Lookup(const std::unordered_map<std::string, double>& scores,
+              const std::string& key) {
+  const auto it = scores.find(key);
+  return it == scores.end() ? 0.0 : it->second;
+}
+
+// std::map iterates in key order; accumulation is reproducible.
+double SumOrdered(const std::map<std::string, double>& by_key) {
+  double total = 0.0;
+  for (const auto& entry : by_key) {
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace dbtune
