@@ -10,7 +10,10 @@ namespace dbtune {
 
 namespace {
 
-constexpr char kHeader[] = "dbtune-dataset v1";
+// v2 adds the `end|<samples>` trailer so a file cut off at any line
+// boundary (full disk, crash) is detectably incomplete instead of
+// silently loading as a shorter dataset.
+constexpr char kHeader[] = "dbtune-dataset v2";
 
 std::vector<std::string> SplitFields(const std::string& line) {
   std::vector<std::string> fields;
@@ -81,7 +84,12 @@ Status SaveTuningDataset(const TuningDataset& dataset,
     for (double u : dataset.unit_x[row]) out << "|" << FormatDouble(u);
     out << "\n";
   }
-  if (!out) return Status::Internal("write failed for " + path);
+  out << "end|" << dataset.unit_x.size() << "\n";
+  // A full disk can swallow buffered lines without tripping the stream's
+  // error state until flush time; returning OK over a corrupt file is
+  // the one outcome this function must never produce.
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed for " + path);
   return Status::OK();
 }
 
@@ -98,13 +106,26 @@ Result<TuningDataset> LoadTuningDataset(const std::string& path) {
   std::vector<Knob> knobs;
   bool saw_meta = false;
   bool saw_default = false;
+  bool saw_end = false;
 
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
+    if (saw_end) {
+      return Status::InvalidArgument(path + " has data after the end marker");
+    }
     const std::vector<std::string> fields = SplitFields(line);
     const std::string& tag = fields.front();
 
-    if (tag == "meta") {
+    if (tag == "end") {
+      if (fields.size() != 2) return Status::InvalidArgument("bad end line");
+      DBTUNE_ASSIGN_OR_RETURN(const double declared, ParseDouble(fields[1]));
+      if (declared != static_cast<double>(dataset.unit_x.size())) {
+        return Status::InvalidArgument(
+            path + " is truncated: end marker declares " + fields[1] +
+            " samples, found " + std::to_string(dataset.unit_x.size()));
+      }
+      saw_end = true;
+    } else if (tag == "meta") {
       if (fields.size() != 3) return Status::InvalidArgument("bad meta line");
       dataset.objective_kind = fields[1] == "latency"
                                    ? ObjectiveKind::kLatencyP95
@@ -178,6 +199,10 @@ Result<TuningDataset> LoadTuningDataset(const std::string& path) {
 
   if (!saw_meta || !saw_default || knobs.empty()) {
     return Status::InvalidArgument(path + " is incomplete");
+  }
+  if (!saw_end) {
+    return Status::InvalidArgument(path +
+                                   " is truncated (no end marker)");
   }
   dataset.space = ConfigurationSpace(std::move(knobs));
   DBTUNE_RETURN_IF_ERROR(dataset.space.Validate(dataset.default_config));

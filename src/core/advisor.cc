@@ -3,6 +3,7 @@
 #include "dbms/environment.h"
 #include "obs/trace.h"
 #include "sampling/latin_hypercube.h"
+#include "store/observation_store.h"
 #include "transfer/rgpe.h"
 #include "util/logging.h"
 
@@ -19,6 +20,41 @@ Result<AdvisorReport> TuneDbms(DbmsSimulator* simulator,
   DBTUNE_TRACE_SPAN("advisor.tune");
 
   AdvisorReport report;
+
+  // --- Step 0: open the durable store (opt-in) so its persisted
+  // base-task pool joins the transfer repository and the tuning session
+  // below resumes any recorded trajectory. Store failures degrade to
+  // tuning without durability.
+  std::unique_ptr<store::ObservationStore> owned_store;
+  store::ObservationStore* store = options.session.store;
+  if (store == nullptr) {
+    const std::string store_path =
+        store::ObservationStore::ResolvePath(options.session.store_path);
+    if (!store_path.empty()) {
+      store::StoreOptions store_options;
+      store_options.snapshot_every =
+          store::ObservationStore::ResolveSnapshotEvery();
+      auto opened = store::ObservationStore::Open(store_path, store_options);
+      if (opened.ok()) {
+        owned_store = std::move(opened).value();
+        store = owned_store.get();
+      } else {
+        DBTUNE_LOG(kWarning) << "observation store disabled: "
+                             << opened.status().ToString();
+      }
+    }
+  }
+  ObservationRepository merged_repository;
+  const ObservationRepository* effective_repository = repository;
+  if (store != nullptr && store->num_tasks() > 0) {
+    if (repository != nullptr) {
+      for (const SourceTask& task : repository->tasks()) {
+        merged_repository.AddTask(task);
+      }
+    }
+    store->ExportTasks(&merged_repository);
+    effective_repository = &merged_repository;
+  }
 
   // --- Step 1: collect observations over the full space.
   TuningEnvironment full_env(simulator);
@@ -62,9 +98,9 @@ Result<AdvisorReport> TuneDbms(DbmsSimulator* simulator,
   OptimizerOptions optimizer_options;
   optimizer_options.seed = options.seed ^ 0xAD;
   std::unique_ptr<Optimizer> optimizer;
-  if (repository != nullptr && !repository->empty()) {
+  if (effective_repository != nullptr && !effective_repository->empty()) {
     optimizer = std::make_unique<RgpeOptimizer>(
-        env.space(), optimizer_options, repository,
+        env.space(), optimizer_options, effective_repository,
         options.optimizer == OptimizerType::kMixedKernelBo
             ? TransferBase::kMixedKernelBo
             : TransferBase::kSmac);
@@ -72,9 +108,27 @@ Result<AdvisorReport> TuneDbms(DbmsSimulator* simulator,
     optimizer =
         CreateOptimizer(options.optimizer, env.space(), optimizer_options);
   }
+  SessionControls session_controls = options.session;
+  session_controls.store = store;
   report.session = RunTuningSession(&env, optimizer.get(),
                                     options.tuning_iterations,
-                                    options.session);
+                                    session_controls);
+  // Seal the finished trajectory into the persisted base-task pool so the
+  // next advisor run (any workload) starts from a richer repository.
+  if (store != nullptr) {
+    std::string session_id = options.session.store_session_id;
+    if (session_id.empty()) {
+      session_id = options.session.session_label.empty()
+                       ? "default"
+                       : options.session.session_label;
+    }
+    const Status finished =
+        store->FinishSession(session_id, env.space(), session_id);
+    if (!finished.ok()) {
+      DBTUNE_LOG(kWarning) << "store task not persisted: "
+                           << finished.ToString();
+    }
+  }
 
   // --- Assemble the recommendation.
   report.best_objective = env.best_objective();

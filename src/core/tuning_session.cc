@@ -1,5 +1,7 @@
 #include "core/tuning_session.h"
 
+#include <algorithm>
+
 #include "obs/clock.h"
 #include "obs/diagnostics.h"
 #include "obs/metrics.h"
@@ -7,9 +9,43 @@
 #include "obs/session_log.h"
 #include "obs/trace.h"
 #include "optimizer/projected_optimizer.h"
+#include "store/observation_store.h"
 #include "util/logging.h"
 
 namespace dbtune {
+
+namespace {
+
+/// Resolves the durable-store handle for this run: the borrowed handle
+/// when set, otherwise a freshly opened store when a path resolves, else
+/// none. Store failures disable durability with a warning instead of
+/// failing the session — tuning results still matter on a broken disk.
+store::ObservationStore* ResolveStore(
+    const SessionControls& controls,
+    std::unique_ptr<store::ObservationStore>* owned) {
+  if (controls.store != nullptr) return controls.store;
+  const std::string path =
+      store::ObservationStore::ResolvePath(controls.store_path);
+  if (path.empty()) return nullptr;
+  store::StoreOptions options;
+  options.snapshot_every = store::ObservationStore::ResolveSnapshotEvery();
+  auto opened = store::ObservationStore::Open(path, options);
+  if (!opened.ok()) {
+    DBTUNE_LOG(kWarning) << "observation store disabled: "
+                         << opened.status().ToString();
+    return nullptr;
+  }
+  *owned = std::move(opened).value();
+  return owned->get();
+}
+
+std::string ResolveStoreSessionId(const SessionControls& controls) {
+  if (!controls.store_session_id.empty()) return controls.store_session_id;
+  if (!controls.session_label.empty()) return controls.session_label;
+  return "default";
+}
+
+}  // namespace
 
 SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
                                size_t iterations, SessionControls controls) {
@@ -49,6 +85,30 @@ SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
   result.objective_trace.reserve(iterations);
   const double sim_seconds_start = env->simulator().simulated_seconds();
 
+  std::unique_ptr<store::ObservationStore> owned_store;
+  store::ObservationStore* store = ResolveStore(controls, &owned_store);
+  const std::string store_session_id = ResolveStoreSessionId(controls);
+  // Recovered observations still pending replay. Cleared on divergence.
+  std::vector<Observation> recovered;
+  if (store != nullptr) {
+    const Status begun =
+        store->BeginSession(store_session_id, env->space().dimension());
+    if (!begun.ok()) {
+      DBTUNE_LOG(kWarning) << "observation store disabled: "
+                           << begun.ToString();
+      store = nullptr;
+    } else {
+      const store::StoredSession* stored =
+          store->FindSession(store_session_id);
+      if (stored != nullptr && !stored->observations.empty()) {
+        recovered.assign(
+            stored->observations.begin(),
+            stored->observations.begin() +
+                std::min(stored->observations.size(), iterations));
+      }
+    }
+  }
+
   for (size_t iter = 0; iter < iterations; ++iter) {
     DBTUNE_TRACE_SPAN("session.iteration");
 
@@ -60,11 +120,50 @@ SessionResult RunTuningSession(TuningEnvironment* env, Optimizer* optimizer,
     }();
     const double t1 = obs::MonotonicSeconds();
 
+    // When the store recovered a history prefix, substitute the recorded
+    // observation for the stress test: Suggest() above re-advanced the
+    // optimizer exactly as in the original run, and Replay() keeps the
+    // environment and simulator noise stream aligned, so the session
+    // continues on a bitwise-identical trajectory. A recorded config
+    // that no longer matches the re-suggested one means the history was
+    // produced under different code/seed — truncate it durably and fall
+    // back to live evaluation from here on.
+    bool replay = false;
+    if (iter < recovered.size()) {
+      if (env->space().Clip(config) == recovered[iter].config) {
+        replay = true;
+      } else {
+        DBTUNE_LOG(kWarning)
+            << "store replay diverged for session '" << store_session_id
+            << "' at iteration " << (iter + 1)
+            << "; truncating stored history and continuing live";
+        recovered.clear();
+        const Status truncated =
+            store->TruncateSession(store_session_id, iter);
+        if (!truncated.ok()) {
+          DBTUNE_LOG(kWarning) << "observation store disabled: "
+                               << truncated.ToString();
+          store = nullptr;
+        }
+      }
+    }
+
     const Observation observation = [&] {
       obs::ScopedLatency latency(&evaluate_hist);
       DBTUNE_TRACE_SPAN("session.evaluate");
-      return env->Evaluate(config);
+      return replay ? env->Replay(recovered[iter]) : env->Evaluate(config);
     }();
+    if (replay) {
+      ++result.replayed_iterations;
+    } else if (store != nullptr) {
+      const Status appended = store->AppendObservation(
+          store_session_id, env->iterations(), observation);
+      if (!appended.ok()) {
+        DBTUNE_LOG(kWarning) << "observation store disabled: "
+                             << appended.ToString();
+        store = nullptr;
+      }
+    }
     const double t2 = obs::MonotonicSeconds();
 
     {

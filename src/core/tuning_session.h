@@ -11,6 +11,10 @@
 
 namespace dbtune {
 
+namespace store {
+class ObservationStore;
+}  // namespace store
+
 /// Outcome of one tuning session (the unit of all paper experiments).
 struct SessionResult {
   /// Best-so-far improvement (%) against the default after each iteration.
@@ -32,6 +36,9 @@ struct SessionResult {
   /// model health), set when diagnostics were enabled for the session.
   bool has_diagnostics = false;
   obs::IterationDiagnostics final_diagnostics;
+  /// Iterations recovered from the durable store instead of evaluated
+  /// live (0 when no store was attached or the session started fresh).
+  size_t replayed_iterations = 0;
 };
 
 /// Extra controls for `RunTuningSession`.
@@ -66,6 +73,17 @@ struct SessionControls {
   /// plus once at session end. Empty → fall back to
   /// `DBTUNE_METRICS_EXPORT`.
   std::string metrics_export_path;
+  /// When non-empty, the session opens the durable observation store at
+  /// this path, replays any history recorded under `store_session_id`,
+  /// and appends each new observation to the write-ahead log. Empty →
+  /// fall back to `DBTUNE_STORE`; still empty → no store.
+  std::string store_path;
+  /// Durable-store session id. Empty → `session_label`, else "default".
+  std::string store_session_id;
+  /// Borrowed already-open store; takes precedence over `store_path`
+  /// (never open two handles onto one WAL). The caller keeps ownership
+  /// and must outlive the session.
+  store::ObservationStore* store = nullptr;
 };
 
 /// Drives `iterations` suggest/evaluate/observe rounds of `optimizer`

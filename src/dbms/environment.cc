@@ -86,6 +86,32 @@ Observation TuningEnvironment::Evaluate(const Configuration& sub_config) {
   return history_.back();
 }
 
+Observation TuningEnvironment::Replay(const Observation& recorded) {
+  DBTUNE_CHECK(recorded.config.size() == knob_indices_.size());
+  simulator_->ReplaySkip(recorded.failed);
+
+  Observation obs;
+  obs.config = recorded.config;
+  obs.failed = recorded.failed;
+  obs.internal_metrics = recorded.internal_metrics;
+  if (recorded.failed) {
+    obs.score = worst_score_;
+    obs.objective = 0.0;
+  } else {
+    obs.objective = recorded.objective;
+    obs.score = ScoreFromObjective(recorded.objective);
+    worst_score_ = std::min(worst_score_, obs.score);
+    if (obs.score > best_score_) {
+      best_score_ = obs.score;
+      best_objective_ = obs.objective;
+      best_iteration_ = history_.size() + 1;
+      best_config_ = obs.config;
+    }
+  }
+  history_.push_back(obs);
+  return history_.back();
+}
+
 double TuningEnvironment::ImprovementPercent() const {
   return ImprovementPercentOf(best_objective_);
 }

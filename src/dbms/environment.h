@@ -55,6 +55,14 @@ class TuningEnvironment {
   /// `history()`.
   Observation Evaluate(const Configuration& sub_config);
 
+  /// Re-applies an observation recovered from the durable store without
+  /// re-running the stress test: performs the same best/worst bookkeeping
+  /// as `Evaluate` (recomputing the failure-substituted score from the
+  /// running worst) and advances the simulator via `ReplaySkip`, so a
+  /// resumed session continues bitwise-identically. `recorded.config`
+  /// must already be clipped into this environment's subspace.
+  Observation Replay(const Observation& recorded);
+
   /// Maximize-direction score of the default configuration.
   double default_score() const { return default_score_; }
   /// Raw objective of the default configuration.

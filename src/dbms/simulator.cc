@@ -136,6 +136,24 @@ std::vector<double> DbmsSimulator::ComputeInternalMetrics(
   return metrics;
 }
 
+void DbmsSimulator::ReplaySkip(bool failed) {
+  ++evaluation_count_;
+  if (failed) {
+    // The failed path of Evaluate draws no noise.
+    simulated_seconds_ += kFailedProbeSeconds;
+    return;
+  }
+  // Mirror Evaluate's draw pattern exactly: one objective-noise draw plus
+  // one per internal metric. Rng::Gaussian builds a fresh distribution
+  // per call, so engine state (the only thing that matters for the
+  // continuation) depends only on the number and parameters of draws.
+  (void)noise_rng_.Gaussian(0.0, kNoiseSigma);
+  for (size_t m = 0; m < kNumInternalMetrics; ++m) {
+    (void)noise_rng_.Gaussian(0.0, 0.01);
+  }
+  simulated_seconds_ += kRestartSeconds + kStressTestSeconds;
+}
+
 EvaluationResult DbmsSimulator::Evaluate(const Configuration& config) {
   EvaluationResult result;
   ++evaluation_count_;

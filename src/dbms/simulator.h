@@ -64,6 +64,13 @@ class DbmsSimulator {
   /// first (as a real controller would refuse to set them).
   EvaluationResult Evaluate(const Configuration& config);
 
+  /// Advances the simulator past one evaluation whose outcome is already
+  /// known (durable-store replay): consumes exactly the noise draws and
+  /// simulated seconds `Evaluate` would for a failed/successful run, so
+  /// the run continues on a bitwise-identical trajectory, without
+  /// recomputing the response surface.
+  void ReplaySkip(bool failed);
+
   /// Deterministic crash predicate: true when the configuration's memory
   /// footprint exceeds what the instance can host.
   bool WouldCrash(const Configuration& config) const;

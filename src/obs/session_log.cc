@@ -32,8 +32,11 @@ SessionLogger& SessionLogger::operator=(SessionLogger&& other) noexcept {
 
 void SessionLogger::Close() {
   if (file_ != nullptr) {
-    std::fflush(file_);
-    std::fclose(file_);
+    const bool flushed = std::fflush(file_) == 0;
+    const bool closed = std::fclose(file_) == 0;
+    if (!flushed || !closed) {
+      DBTUNE_LOG(kWarning) << "session log lost buffered data on close";
+    }
     file_ = nullptr;
   }
 }
@@ -44,32 +47,42 @@ void SessionLogger::Log(const SessionIterationRecord& record) {
   // deterministic-output contract. The diagnostics fields are additive
   // and versioned — with diagnostics off, the line is byte-identical to
   // the pre-diagnostics format.
-  std::fprintf(file_,
-               "{\"iter\":%zu,\"suggest_s\":%.9f,\"evaluate_s\":%.9f,"
-               "\"observe_s\":%.9f,\"score\":%.9g,\"best_score\":%.9g,"
-               "\"improvement_pct\":%.9g",
-               record.iteration, record.suggest_seconds,
-               record.evaluate_seconds, record.observe_seconds, record.score,
-               record.best_score, record.improvement_percent);
-  if (record.has_diagnostics) {
+  bool ok =
+      std::fprintf(file_,
+                   "{\"iter\":%zu,\"suggest_s\":%.9f,\"evaluate_s\":%.9f,"
+                   "\"observe_s\":%.9f,\"score\":%.9g,\"best_score\":%.9g,"
+                   "\"improvement_pct\":%.9g",
+                   record.iteration, record.suggest_seconds,
+                   record.evaluate_seconds, record.observe_seconds,
+                   record.score, record.best_score,
+                   record.improvement_percent) >= 0;
+  if (ok && record.has_diagnostics) {
     const IterationDiagnostics& d = record.diagnostics;
-    std::fprintf(
-        file_,
-        ",\"diag_v\":%d,\"pred\":%d,\"zres\":%.9g,\"nlpd\":%.9g,"
-        "\"cov68\":%.9g,\"cov95\":%.9g,\"regret\":%.9g,\"cum_regret\":%.9g,"
-        "\"stall\":%zu,\"ewma_improve\":%.9g,\"acq_best\":%.9g,"
-        "\"acq_spread\":%.9g,\"inc_fit_rate\":%.9g,"
-        "\"sparse_escalations\":%llu,\"hyperopt_runs\":%llu",
-        kDiagnosticsSchemaVersion, d.has_prediction ? 1 : 0,
-        d.standardized_residual, d.nlpd, d.coverage68, d.coverage95,
-        d.simple_regret, d.cumulative_regret, d.iterations_since_improvement,
-        d.improvement_ewma, d.acquisition_best, d.acquisition_spread,
-        d.incremental_fit_rate,
-        static_cast<unsigned long long>(d.sparse_escalations),
-        static_cast<unsigned long long>(d.hyperopt_runs));
+    ok = std::fprintf(
+             file_,
+             ",\"diag_v\":%d,\"pred\":%d,\"zres\":%.9g,\"nlpd\":%.9g,"
+             "\"cov68\":%.9g,\"cov95\":%.9g,\"regret\":%.9g,"
+             "\"cum_regret\":%.9g,"
+             "\"stall\":%zu,\"ewma_improve\":%.9g,\"acq_best\":%.9g,"
+             "\"acq_spread\":%.9g,\"inc_fit_rate\":%.9g,"
+             "\"sparse_escalations\":%llu,\"hyperopt_runs\":%llu",
+             kDiagnosticsSchemaVersion, d.has_prediction ? 1 : 0,
+             d.standardized_residual, d.nlpd, d.coverage68, d.coverage95,
+             d.simple_regret, d.cumulative_regret,
+             d.iterations_since_improvement, d.improvement_ewma,
+             d.acquisition_best, d.acquisition_spread,
+             d.incremental_fit_rate,
+             static_cast<unsigned long long>(d.sparse_escalations),
+             static_cast<unsigned long long>(d.hyperopt_runs)) >= 0;
   }
-  std::fputs("}\n", file_);
-  std::fflush(file_);
+  ok = ok && std::fputs("}\n", file_) >= 0;
+  ok = ok && std::fflush(file_) == 0;
+  if (!ok) {
+    // A half-written line would corrupt every later record's framing, so
+    // the logger stops rather than keep appending after the first error.
+    DBTUNE_LOG(kWarning) << "session log disabled: write failed";
+    Close();
+  }
 }
 
 std::string SessionLogger::ResolvePath(const std::string& explicit_path) {

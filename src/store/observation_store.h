@@ -1,0 +1,164 @@
+#ifndef DBTUNE_STORE_OBSERVATION_STORE_H_
+#define DBTUNE_STORE_OBSERVATION_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbms/environment.h"
+#include "store/wal.h"
+#include "transfer/repository.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace dbtune::store {
+
+/// Store tuning knobs.
+struct StoreOptions {
+  /// Observations appended between automatic checkpoints (snapshot +
+  /// WAL compaction). 0 disables automatic checkpoints; Checkpoint() can
+  /// still be called explicitly.
+  size_t snapshot_every = 64;
+};
+
+/// Recovered or in-progress history of one tuning session.
+struct StoredSession {
+  std::string id;
+  /// Dimension of the tuned subspace (arity of every observation config).
+  size_t dimension = 0;
+  /// True once FinishSession sealed the trajectory; a later BeginSession
+  /// with the same id starts the session over.
+  bool finished = false;
+  std::vector<Observation> observations;
+};
+
+/// Compact per-session description (for reports; no observation data).
+struct StoredSessionInfo {
+  std::string id;
+  size_t dimension = 0;
+  size_t observations = 0;
+  bool finished = false;
+};
+
+/// Recovery and lifetime counters, for reports and tests.
+struct StoreStats {
+  /// Highest LSN assigned so far (snapshot + WAL).
+  uint64_t last_lsn = 0;
+  /// WAL records applied during Open (records the snapshot already
+  /// covered are skipped and not counted).
+  size_t wal_records_replayed = 0;
+  /// True when Open found and truncated a torn or CRC-corrupt WAL tail.
+  bool recovered_torn_tail = false;
+  /// True when recovery loaded a snapshot file.
+  bool loaded_snapshot = false;
+  /// Checkpoints taken through this handle.
+  size_t checkpoints = 0;
+};
+
+/// Durable observation store: a write-ahead log of (configuration,
+/// performance, internal-metrics) records plus periodic snapshots written
+/// via atomic tmp+rename, so a service restart resumes every session
+/// mid-trajectory and the transfer base-task pool survives across runs.
+///
+/// Layout on disk: `<path>` is the WAL ("DBTNWAL1" magic + CRC-framed
+/// records), `<path>.snapshot` the latest checkpoint ("DBTNSNP1" magic +
+/// the covered LSN + the same framed records). Recovery loads the
+/// snapshot, then replays WAL records with LSN beyond it; a torn or
+/// corrupt WAL tail is truncated with a warning (every complete record
+/// before it survives). Appends flush per record, so a crash tears at
+/// most the final record.
+///
+/// Thread-safe; sessions within one store are independent.
+class ObservationStore {
+ public:
+  /// Opens (creating if absent) the store at `path` and runs recovery.
+  [[nodiscard]] static Result<std::unique_ptr<ObservationStore>> Open(
+      const std::string& path, StoreOptions options = {});
+
+  /// `explicit_path` when non-empty, else `DBTUNE_STORE`, else ""
+  /// (store disabled).
+  static std::string ResolvePath(const std::string& explicit_path);
+
+  /// `DBTUNE_STORE_SNAPSHOT_EVERY` when set and parseable, else the
+  /// StoreOptions default.
+  static size_t ResolveSnapshotEvery();
+
+  /// Declares a session. New id → starts empty. Existing unfinished id
+  /// with the same dimension → no-op (the caller replays its history).
+  /// Existing finished id → the session restarts empty. A dimension
+  /// mismatch on an unfinished session is an error.
+  [[nodiscard]] Status BeginSession(const std::string& id, size_t dimension);
+
+  /// Appends one observation to the session's durable history.
+  /// `iteration` is 1-based and must be exactly one past the stored
+  /// history (detects double-apply and lost-record bugs at the API edge).
+  [[nodiscard]] Status AppendObservation(const std::string& id,
+                                         size_t iteration,
+                                         const Observation& obs);
+
+  /// Durably discards all but the first `keep` observations of `id` —
+  /// the recovery path for a replay divergence.
+  [[nodiscard]] Status TruncateSession(const std::string& id, size_t keep);
+
+  /// Seals the session and persists its history as a transfer base task
+  /// named `task_name` (built via ObservationRepository::FromHistory over
+  /// `space`, which must be the session's tuned subspace).
+  [[nodiscard]] Status FinishSession(const std::string& id,
+                                     const ConfigurationSpace& space,
+                                     const std::string& task_name);
+
+  /// Persists an externally built base task. (Named distinctly from
+  /// ObservationRepository::AddTask, which is void-returning.)
+  [[nodiscard]] Status PersistTask(const SourceTask& task);
+
+  /// Writes a snapshot of the full state (atomic tmp+rename), then
+  /// compacts the WAL down to its header: every log record is now covered
+  /// by the snapshot.
+  [[nodiscard]] Status Checkpoint();
+
+  /// The stored session, or nullptr. The pointer is invalidated by any
+  /// later mutation of the store.
+  const StoredSession* FindSession(const std::string& id) const;
+
+  /// Appends every persisted base task to `repository`.
+  void ExportTasks(ObservationRepository* repository) const;
+
+  /// Id-ordered summaries of every stored session.
+  std::vector<StoredSessionInfo> ListSessions() const;
+
+  size_t num_sessions() const;
+  size_t num_tasks() const;
+  StoreStats stats() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  ObservationStore(std::string path, StoreOptions options);
+
+  [[nodiscard]] Status Recover() DBTUNE_REQUIRES(mu_);
+  [[nodiscard]] Status ApplyRecord(const WalRecord& record)
+      DBTUNE_REQUIRES(mu_);
+  [[nodiscard]] Status AppendAndApply(WalRecordType type, std::string body)
+      DBTUNE_REQUIRES(mu_);
+  [[nodiscard]] Status WriteSnapshotLocked()
+      DBTUNE_REQUIRES(mu_);
+  [[nodiscard]] Status CheckpointLocked() DBTUNE_REQUIRES(mu_);
+
+  const std::string path_;
+  const StoreOptions options_;
+
+  mutable Mutex mu_;
+  WalWriter wal_ DBTUNE_GUARDED_BY(mu_);
+  /// Ordered so snapshots (and therefore recovery) are deterministic.
+  std::map<std::string, StoredSession> sessions_ DBTUNE_GUARDED_BY(mu_);
+  std::vector<SourceTask> tasks_ DBTUNE_GUARDED_BY(mu_);
+  uint64_t next_lsn_ DBTUNE_GUARDED_BY(mu_) = 1;
+  size_t appends_since_checkpoint_ DBTUNE_GUARDED_BY(mu_) = 0;
+  StoreStats stats_ DBTUNE_GUARDED_BY(mu_);
+};
+
+}  // namespace dbtune::store
+
+#endif  // DBTUNE_STORE_OBSERVATION_STORE_H_

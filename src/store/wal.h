@@ -1,0 +1,148 @@
+#ifndef DBTUNE_STORE_WAL_H_
+#define DBTUNE_STORE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dbtune::store {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `size` bytes. Every
+/// WAL and snapshot frame carries one so recovery can distinguish a torn
+/// tail from a complete record.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Record types shared by the write-ahead log and the snapshot file. The
+/// numeric values are part of the on-disk format — append, never renumber.
+enum class WalRecordType : uint8_t {
+  kBeginSession = 1,
+  kObservation = 2,
+  kEndSession = 3,
+  kTask = 4,
+  kTruncateSession = 5,
+};
+
+/// One decoded log record: a monotonically increasing sequence number, a
+/// type tag, and the type-specific body bytes.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kBeginSession;
+  std::string body;
+};
+
+/// Append-only binary encoder for record bodies. All integers are
+/// little-endian; doubles are raw IEEE-754 bit patterns so a decoded
+/// value is bitwise identical to what was written.
+class WalEncoder {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutDouble(double v);
+  /// Length-prefixed (u32) byte string.
+  void PutString(const std::string& s);
+  /// Count-prefixed (u64) vector of raw doubles.
+  void PutDoubles(const std::vector<double>& v);
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked reader over an encoded record body. Every read returns
+/// InvalidArgument past the end instead of walking off the buffer.
+class WalDecoder {
+ public:
+  explicit WalDecoder(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] Result<uint8_t> ReadU8();
+  [[nodiscard]] Result<uint32_t> ReadU32();
+  [[nodiscard]] Result<uint64_t> ReadU64();
+  [[nodiscard]] Result<double> ReadDouble();
+  [[nodiscard]] Result<std::string> ReadString();
+  [[nodiscard]] Result<std::vector<double>> ReadDoubles();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Frames a record for disk: [u32 payload_len][u32 crc32(payload)] with
+/// payload = [u64 lsn][u8 type][body].
+std::string EncodeWalFrame(const WalRecord& record);
+
+/// Outcome of scanning a WAL (or snapshot body) from disk.
+struct WalScanResult {
+  std::vector<WalRecord> records;
+  /// Bytes of the file occupied by the header plus every intact frame.
+  /// Anything past this offset is a torn or corrupt tail.
+  uint64_t valid_bytes = 0;
+  /// True when the file ended mid-frame or a frame failed its CRC.
+  bool torn_tail = false;
+};
+
+/// Decodes frames from `data` starting at `offset` until the end of the
+/// buffer, a short frame, or a CRC mismatch. Never fails: a damaged tail
+/// sets `torn_tail` and stops.
+WalScanResult ScanWalFrames(std::string_view data, uint64_t offset);
+
+/// Append-only writer over one WAL file. `OpenWal` (in
+/// observation_store.cc) validates or creates the file before handing it
+/// here; the writer itself only appends frames and flushes each one so a
+/// crash can tear at most the final record.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending. The file must already exist with a valid
+  /// header (the store's recovery pass guarantees this).
+  [[nodiscard]] static Result<WalWriter> OpenForAppend(const std::string& path);
+
+  /// Appends one framed record and flushes. On an injected fault the
+  /// budgeted prefix of the frame still reaches the file — exactly what a
+  /// mid-write crash leaves behind — and the writer disables itself.
+  [[nodiscard]] Status Append(const WalRecord& record);
+
+  /// Rewrites the file to just the magic header (log compaction after a
+  /// snapshot made every existing record redundant).
+  [[nodiscard]] Status TruncateToHeader();
+
+  bool open() const { return file_ != nullptr; }
+
+ private:
+  void Close();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// 8-byte magic that starts every WAL file.
+extern const char kWalMagic[8];
+/// 8-byte magic that starts every snapshot file.
+extern const char kSnapshotMagic[8];
+
+namespace testing {
+
+/// Arms a one-shot write fault: after `budget_bytes` more bytes have been
+/// written through WalWriter::Append, the write stops mid-frame (the
+/// prefix is flushed to disk, simulating a crash) and Append returns an
+/// error. Pass a negative budget to disarm. Tests only.
+void SetWalWriteFaultForTest(int64_t budget_bytes);
+
+}  // namespace testing
+
+}  // namespace dbtune::store
+
+#endif  // DBTUNE_STORE_WAL_H_

@@ -1,5 +1,7 @@
 #include "transfer/repository.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -64,7 +66,12 @@ SourceTask ObservationRepository::FromHistory(
       if (metric_sum.empty()) {
         metric_sum.assign(obs.internal_metrics.size(), 0.0);
       }
-      for (size_t m = 0; m < metric_sum.size(); ++m) {
+      // Clamp to this observation's own width: histories mixing metric
+      // arities (e.g. recorded across collector versions) must not read
+      // past a shorter vector.
+      const size_t width =
+          std::min(metric_sum.size(), obs.internal_metrics.size());
+      for (size_t m = 0; m < width; ++m) {
         metric_sum[m] += obs.internal_metrics[m];
       }
       ++successful;
@@ -78,6 +85,7 @@ SourceTask ObservationRepository::FromHistory(
 }
 
 std::vector<double> StandardizeScores(const std::vector<double>& scores) {
+  if (scores.empty()) return {};  // Mean/StdDev of nothing would be NaN
   std::vector<double> out = scores;
   const double mean = Mean(out);
   double sd = StdDev(out);

@@ -336,6 +336,54 @@ TEST(AnalyzeTest, MutexGuardGapNearMissesStayQuiet) {
   EXPECT_TRUE(findings.empty());
 }
 
+TEST(AnalyzeTest, UncheckedWriteFiresOnAllDiscardFormsAndOfstream) {
+  const auto findings =
+      AnalyzeFile(FixturePath("store/bad_unchecked_write.cc"),
+                  "store/bad_unchecked_write.cc");
+  // fwrite and fprintf bare statements, (void) fflush, fputs behind the
+  // comma operator, static_cast<void> fclose, and the never-checked
+  // ofstream declaration.
+  EXPECT_EQ(CountCheck(findings, "unchecked-write"), 6);
+  EXPECT_EQ(findings.size(), 6u);
+  for (const Diagnostic& d : findings) {
+    EXPECT_EQ(d.severity, "error") << FormatDiagnostic(d);
+  }
+}
+
+TEST(AnalyzeTest, UncheckedWriteNearMissesStayQuiet) {
+  // Stored/tested results, stderr diagnostics, a good()-checked
+  // ofstream, and the allow() escape hatch are all sanctioned.
+  const auto findings =
+      AnalyzeFile(FixturePath("store/near_unchecked_write.cc"),
+                  "store/near_unchecked_write.cc");
+  for (const Diagnostic& d : findings) ADD_FAILURE() << FormatDiagnostic(d);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeTest, UncheckedWriteOnlyAppliesOnPersistencePaths) {
+  // The same content outside store//obs//benchmk/ and the artifact CLIs
+  // may write best-effort (e.g. optimizer scratch output).
+  const auto findings =
+      AnalyzeFile(FixturePath("store/bad_unchecked_write.cc"),
+                  "optimizer/scratch_io.cc");
+  EXPECT_EQ(CountCheck(findings, "unchecked-write"), 0);
+}
+
+TEST(AnalyzeTest, UncheckedWriteCoversArtifactClis) {
+  // The report/analyzer CLIs write CI artifacts; their relpaths are in
+  // scope wherever the tools tree is rooted.
+  const std::string content =
+      "#include <cstdio>\n"
+      "void Emit(std::FILE* f) { std::fflush(f); }\n";
+  EXPECT_EQ(CountCheck(AnalyzeSource("x.cc", "dbtune_report.cc", content),
+                       "unchecked-write"),
+            1);
+  EXPECT_EQ(
+      CountCheck(AnalyzeSource("x.cc", "core/tuning_session.cc", content),
+                 "unchecked-write"),
+      0);
+}
+
 TEST(AnalyzeTest, IgnoredStatusRespectsLocalNonStatusOverride) {
   // A file whose own Build() returns int must not inherit some other
   // file's Result-returning Build from the tree-wide index — pinned here
@@ -430,7 +478,7 @@ TEST(AnalyzeTest, RegistryMetadataIsComplete) {
       "ignored-status",       "mutex-guard-gap",     "random-seed",
       "naked-new",            "using-namespace-std", "include-guard",
       "iostream",             "raw-timing",          "predict-in-loop",
-      "gp-construction",      "metrics-export"};
+      "gp-construction",      "metrics-export",      "unchecked-write"};
   for (const std::string& id : required) {
     const auto it = std::find_if(
         Checks().begin(), Checks().end(),
@@ -467,6 +515,8 @@ TEST(AnalyzeTest, FixtureTreeFindsAllViolations) {
   EXPECT_EQ(CountCheck(findings, "parallel-reduction-order"), 2);
   EXPECT_EQ(CountCheck(findings, "ignored-status"), 4);
   EXPECT_EQ(CountCheck(findings, "mutex-guard-gap"), 1);
+  // Persistence checks: the store/ fixture subdirectory is in scope.
+  EXPECT_EQ(CountCheck(findings, "unchecked-write"), 6);
   for (const Diagnostic& d : findings) {
     EXPECT_EQ(d.path.find("near_"), std::string::npos) << FormatDiagnostic(d);
   }

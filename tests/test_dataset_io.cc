@@ -92,7 +92,7 @@ TEST(DatasetIoTest, RejectsWrongHeader) {
 
 TEST(DatasetIoTest, RejectsTruncatedFile) {
   const std::string path = TempPath("truncated.dbtune");
-  std::ofstream(path) << "dbtune-dataset v1\n"
+  std::ofstream(path) << "dbtune-dataset v2\n"
                       << "meta|throughput|1200\n";
   Result<TuningDataset> loaded = LoadTuningDataset(path);
   EXPECT_FALSE(loaded.ok());
@@ -101,7 +101,7 @@ TEST(DatasetIoTest, RejectsTruncatedFile) {
 TEST(DatasetIoTest, RejectsArityMismatch) {
   const std::string path = TempPath("arity.dbtune");
   std::ofstream(path)
-      << "dbtune-dataset v1\n"
+      << "dbtune-dataset v2\n"
       << "meta|throughput|1200\n"
       << "knob|a|continuous|0|1|0.5|0|\n"
       << "knob|b|continuous|0|1|0.5|0|\n"
@@ -114,10 +114,71 @@ TEST(DatasetIoTest, RejectsArityMismatch) {
 
 TEST(DatasetIoTest, RejectsBadNumber) {
   const std::string path = TempPath("badnum.dbtune");
-  std::ofstream(path) << "dbtune-dataset v1\n"
+  std::ofstream(path) << "dbtune-dataset v2\n"
                       << "meta|throughput|not-a-number\n";
   Result<TuningDataset> loaded = LoadTuningDataset(path);
   EXPECT_FALSE(loaded.ok());
+}
+
+TEST(DatasetIoTest, RejectsLegacyV1Header) {
+  // Pre-v2 files have no end marker, so a truncated v1 file is
+  // indistinguishable from a complete one — refuse them outright.
+  const std::string path = TempPath("legacy.dbtune");
+  std::ofstream(path) << "dbtune-dataset v1\n"
+                      << "meta|throughput|1200\n";
+  Result<TuningDataset> loaded = LoadTuningDataset(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression: a v2 file cut off at a line boundary used to load as a
+// silently shorter dataset. The end marker makes every prefix invalid.
+TEST(DatasetIoTest, RejectsFileCutOffBeforeEndMarker) {
+  const TuningDataset original = MakeDataset();
+  const std::string path = TempPath("cutoff.dbtune");
+  ASSERT_TRUE(SaveTuningDataset(original, path).ok());
+
+  // Drop the trailer and the last sample line — a clean line-boundary
+  // cut, exactly what a full disk leaves behind.
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  in.close();
+  ASSERT_GT(lines.size(), 2u);
+  std::ofstream out(path, std::ios::trunc);
+  for (size_t i = 0; i + 2 < lines.size(); ++i) out << lines[i] << "\n";
+  out.close();
+
+  Result<TuningDataset> loaded = LoadTuningDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, RejectsSampleCountMismatch) {
+  const std::string path = TempPath("count.dbtune");
+  std::ofstream(path) << "dbtune-dataset v2\n"
+                      << "meta|throughput|1200\n"
+                      << "knob|a|continuous|0|1|0.5|0|\n"
+                      << "default|0.5\n"
+                      << "sample|100|0.1\n"
+                      << "end|3\n";  // declares 3, file has 1
+  Result<TuningDataset> loaded = LoadTuningDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, RejectsDataAfterEndMarker) {
+  const std::string path = TempPath("afterend.dbtune");
+  std::ofstream(path) << "dbtune-dataset v2\n"
+                      << "meta|throughput|1200\n"
+                      << "knob|a|continuous|0|1|0.5|0|\n"
+                      << "default|0.5\n"
+                      << "sample|100|0.1\n"
+                      << "end|1\n"
+                      << "sample|200|0.9\n";
+  Result<TuningDataset> loaded = LoadTuningDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(DatasetIoTest, CategoricalKnobsSurviveRoundTrip) {

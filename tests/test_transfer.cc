@@ -83,6 +83,41 @@ TEST(RepositoryTest, FromHistoryAggregates) {
   EXPECT_DOUBLE_EQ(task.metric_signature[1], 4.0);
 }
 
+// Regression: a history mixing metric arities (recorded across collector
+// versions) used to read past the end of the shorter vector. Under asan
+// this test fails outright without the clamp.
+TEST(RepositoryTest, FromHistoryClampsMismatchedMetricArity) {
+  const ConfigurationSpace space = MakeSpace();
+  std::vector<Observation> history;
+  Observation wide;
+  wide.config = Configuration({0.1, 0.2, 0.3, 0.4});
+  wide.score = 1.0;
+  wide.internal_metrics = {2.0, 4.0, 6.0};
+  history.push_back(wide);
+  Observation narrow;
+  narrow.config = Configuration({0.5, 0.5, 0.5, 0.5});
+  narrow.score = 2.0;
+  narrow.internal_metrics = {4.0};  // shorter than the first observation
+  history.push_back(narrow);
+
+  const SourceTask task =
+      ObservationRepository::FromHistory("t", space, history);
+  // Signature keeps the first observation's width; the short vector only
+  // contributes to the dimensions it has.
+  ASSERT_EQ(task.metric_signature.size(), 3u);
+  EXPECT_DOUBLE_EQ(task.metric_signature[0], 3.0);  // (2 + 4) / 2
+  EXPECT_DOUBLE_EQ(task.metric_signature[1], 2.0);  // 4 / 2
+  EXPECT_DOUBLE_EQ(task.metric_signature[2], 3.0);  // 6 / 2
+}
+
+TEST(RepositoryTest, FromHistoryEmptyHistoryYieldsEmptyTask) {
+  const ConfigurationSpace space = MakeSpace();
+  const SourceTask task = ObservationRepository::FromHistory("t", space, {});
+  EXPECT_TRUE(task.unit_x.empty());
+  EXPECT_TRUE(task.scores.empty());
+  EXPECT_TRUE(task.metric_signature.empty());
+}
+
 TEST(RepositoryTest, StandardizeScores) {
   const std::vector<double> z = StandardizeScores({1.0, 2.0, 3.0});
   EXPECT_NEAR(z[0] + z[1] + z[2], 0.0, 1e-12);
@@ -91,6 +126,9 @@ TEST(RepositoryTest, StandardizeScores) {
   for (double v : StandardizeScores({5.0, 5.0})) {
     EXPECT_TRUE(std::isfinite(v));
   }
+  // Regression: empty input used to divide 0/0 and return NaN-poisoned
+  // state downstream; it must simply produce an empty vector.
+  EXPECT_TRUE(StandardizeScores({}).empty());
 }
 
 TEST(WorkloadMappingTest, MapsToNearestSignature) {

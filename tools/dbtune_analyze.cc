@@ -99,6 +99,12 @@ int main(int argc, char** argv) {
         out << dbtune_analyze::FormatDiagnostic(d) << "\n";
       }
     }
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "dbtune_analyze: short write to %s\n",
+                   output_path.c_str());
+      return 2;
+    }
   }
 
   if (format == "json") {

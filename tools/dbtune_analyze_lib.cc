@@ -72,6 +72,11 @@ const std::vector<CheckInfo>& Registry() {
        "direct registry snapshot/serialization outside src/obs",
        "render metrics through obs/metrics_export "
        "(RenderPrometheus/WritePrometheusSnapshot)"},
+      {"unchecked-write", "error",
+       "write/flush/close result discarded on a persistence path; a full "
+       "disk or dead descriptor fails silently and truncates durable state",
+       "check the return of fwrite/fprintf/fflush/fclose (or the stream "
+       "state after writing) and surface the failure"},
       {"io", "error", "file could not be read",
        "check that the path exists and is readable"},
   };
@@ -498,6 +503,7 @@ struct PathRules {
   bool timing = true;          // raw-timing applies
   bool optimizer = false;      // predict-in-loop / gp-construction apply
   bool metrics_export = true;  // metrics-export applies
+  bool persistence = false;    // unchecked-write applies
 };
 
 class Analyzer {
@@ -533,6 +539,7 @@ class Analyzer {
     scopes_.push_back(file_scope);
     ScopeWalk();
     StatusDiscardPass();
+    UncheckedWritePass();
   }
 
  private:
@@ -1060,7 +1067,66 @@ class Analyzer {
     pending_lambda_locals_.clear();
   }
 
-  // ---- status-discard pass -------------------------------------------------
+  // ---- discarded-result passes ---------------------------------------------
+
+  /// Classifies how the value of the call at `tokens_[i](...)` (closing
+  /// paren at `close`) is thrown away. Returns nullptr when the value is
+  /// consumed (assigned, tested, passed on, returned).
+  const char* DiscardForm(size_t i, size_t close) const {
+    // Walk the qualifier chain (`a.b->c::name`) back to its start.
+    size_t start = i;
+    while (start >= 2 && tokens_[start - 1].kind == Token::kPunct &&
+           (tokens_[start - 1].text == "." ||
+            tokens_[start - 1].text == "->" ||
+            tokens_[start - 1].text == "::") &&
+           tokens_[start - 2].kind == Token::kIdent) {
+      start -= 2;
+    }
+    const bool stmt_start =
+        start == 0 || IsPunct(start - 1, ";") || IsPunct(start - 1, "{") ||
+        IsPunct(start - 1, "}") || IsIdent(start - 1, "else") ||
+        IsIdent(start - 1, "do");
+
+    if (stmt_start && IsPunct(close + 1, ";")) {
+      return "the result of a bare call statement";
+    }
+    if (start >= 3 && IsPunct(start - 1, ")") && IsIdent(start - 2, "void") &&
+        IsPunct(start - 3, "(")) {
+      return "a (void) cast";
+    }
+    if (start >= 5 && IsPunct(start - 1, "(") && IsPunct(start - 2, ">") &&
+        IsIdent(start - 3, "void") && IsPunct(start - 4, "<") &&
+        IsIdent(start - 5, "static_cast")) {
+      return "a static_cast<void>";
+    }
+    if (IsPunct(close + 1, ",")) {
+      // Comma counts as a discard only under a *grouping* paren (the
+      // comma operator), never in an argument list.
+      size_t k = start;
+      size_t enclosing = static_cast<size_t>(-1);
+      int depth = 0;
+      while (k-- > 0) {
+        if (IsPunct(k, ")")) ++depth;
+        if (IsPunct(k, "(")) {
+          if (depth == 0) {
+            enclosing = k;
+            break;
+          }
+          --depth;
+        }
+        if (depth == 0 && (IsPunct(k, ";") || IsPunct(k, "{"))) break;
+      }
+      if (enclosing != static_cast<size_t>(-1)) {
+        const bool call_args =
+            enclosing > 0 &&
+            (tokens_[enclosing - 1].kind == Token::kIdent ||
+             IsPunct(enclosing - 1, ")") || IsPunct(enclosing - 1, "]") ||
+             IsPunct(enclosing - 1, ">"));
+        if (!call_args) return "the comma operator";
+      }
+    }
+    return nullptr;
+  }
 
   void StatusDiscardPass() {
     const size_t n = tokens_.size();
@@ -1071,64 +1137,61 @@ class Analyzer {
       if (decls_.nonstatus_fns.count(tokens_[i].text) != 0) continue;
       const size_t close = paren_match_[i + 1];
       if (close == 0) continue;
-      // Walk the qualifier chain (`a.b->c::name`) back to its start.
-      size_t start = i;
-      while (start >= 2 && tokens_[start - 1].kind == Token::kPunct &&
-             (tokens_[start - 1].text == "." ||
-              tokens_[start - 1].text == "->" ||
-              tokens_[start - 1].text == "::") &&
-             tokens_[start - 2].kind == Token::kIdent) {
-        start -= 2;
-      }
-      const int line = tokens_[i].line;
-      const std::string& name = tokens_[i].text;
-      const bool stmt_start =
-          start == 0 || IsPunct(start - 1, ";") || IsPunct(start - 1, "{") ||
-          IsPunct(start - 1, "}") || IsIdent(start - 1, "else") ||
-          IsIdent(start - 1, "do");
+      const char* how = DiscardForm(i, close);
+      if (how != nullptr) ReportDiscard(tokens_[i].line, tokens_[i].text, how);
+    }
+  }
 
-      if (stmt_start && IsPunct(close + 1, ";")) {
-        ReportDiscard(line, name, "the result of a bare call statement");
-        continue;
-      }
-      if (start >= 3 && IsPunct(start - 1, ")") && IsIdent(start - 2, "void") &&
-          IsPunct(start - 3, "(")) {
-        ReportDiscard(line, name, "a (void) cast");
-        continue;
-      }
-      if (start >= 5 && IsPunct(start - 1, "(") && IsPunct(start - 2, ">") &&
-          IsIdent(start - 3, "void") && IsPunct(start - 4, "<") &&
-          IsIdent(start - 5, "static_cast")) {
-        ReportDiscard(line, name, "a static_cast<void>");
-        continue;
-      }
-      if (IsPunct(close + 1, ",")) {
-        // Comma counts as a discard only under a *grouping* paren (the
-        // comma operator), never in an argument list.
-        size_t k = start;
-        size_t enclosing = static_cast<size_t>(-1);
-        int depth = 0;
-        while (k-- > 0) {
-          if (IsPunct(k, ")")) ++depth;
-          if (IsPunct(k, "(")) {
-            if (depth == 0) {
-              enclosing = k;
-              break;
-            }
-            --depth;
-          }
-          if (depth == 0 && (IsPunct(k, ";") || IsPunct(k, "{"))) break;
+  void UncheckedWritePass() {
+    if (!rules_.persistence) return;
+    // C stdio calls whose return value reports the write/flush/close
+    // failure; discarding it loses the only error signal.
+    static const std::set<std::string> kWriteFns = {
+        "fwrite", "fprintf", "vfprintf", "fputs",
+        "fputc",  "putc",    "fflush",   "fclose"};
+    const size_t n = tokens_.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (!IsIdent(i) || !IsPunct(i + 1, "(")) continue;
+      if (kWriteFns.count(tokens_[i].text) == 0) continue;
+      const size_t close = paren_match_[i + 1];
+      if (close == 0) continue;
+      // stderr writes are best-effort diagnostics, not durable state.
+      bool to_stderr = false;
+      for (size_t k = i + 2; k < close; ++k) {
+        if (IsIdent(k, "stderr")) {
+          to_stderr = true;
+          break;
         }
-        if (enclosing != static_cast<size_t>(-1)) {
-          const bool call_args =
-              enclosing > 0 &&
-              (tokens_[enclosing - 1].kind == Token::kIdent ||
-               IsPunct(enclosing - 1, ")") || IsPunct(enclosing - 1, "]") ||
-               IsPunct(enclosing - 1, ">"));
-          if (!call_args) {
-            ReportDiscard(line, name, "the comma operator");
-          }
+      }
+      if (to_stderr) continue;
+      const char* how = DiscardForm(i, close);
+      if (how != nullptr) {
+        Report(tokens_[i].line, "unchecked-write",
+               "result of `" + tokens_[i].text + "()` discarded via " + how +
+                   " on a persistence path — a full disk or dead "
+                   "descriptor fails silently and truncates durable state");
+      }
+    }
+    // ofstream declared and written but never state-checked anywhere in
+    // the file: no `!stream` test and no good()/fail()/bad()/rdstate().
+    for (size_t i = 0; i + 1 < n; ++i) {
+      if (!IsIdent(i, "ofstream") || !IsIdent(i + 1)) continue;
+      const std::string& name = tokens_[i + 1].text;
+      bool checked = false;
+      for (size_t k = 0; k + 1 < n && !checked; ++k) {
+        if (IsPunct(k, "!") && IsIdent(k + 1, name.c_str())) checked = true;
+        if (IsIdent(k, name.c_str()) && IsPunct(k + 1, ".") &&
+            (IsIdent(k + 2, "good") || IsIdent(k + 2, "fail") ||
+             IsIdent(k + 2, "bad") || IsIdent(k + 2, "rdstate"))) {
+          checked = true;
         }
+      }
+      if (!checked) {
+        Report(tokens_[i + 1].line, "unchecked-write",
+               "ofstream `" + name +
+                   "` on a persistence path is written but its state is "
+                   "never checked — test good()/fail() (or `!" + name +
+                   "`) after writing so short writes are not dropped");
       }
     }
   }
@@ -1296,6 +1359,14 @@ PathRules RulesFor(const std::string& relpath) {
       !StartsWith(relpath, "obs/") && !EndsWith(relpath, "bench_util.h");
   rules.optimizer = StartsWith(relpath, "optimizer/");
   rules.metrics_export = !StartsWith(relpath, "obs/");
+  // Files whose writes ARE the durable state: the observation store's
+  // WAL/snapshots, the obs trace/log/metrics files, dataset I/O, and the
+  // CLIs that emit report/analysis artifacts.
+  rules.persistence = StartsWith(relpath, "store/") ||
+                      StartsWith(relpath, "obs/") ||
+                      StartsWith(relpath, "benchmk/") ||
+                      relpath.find("dbtune_report") != std::string::npos ||
+                      relpath.find("dbtune_analyze") != std::string::npos;
   return rules;
 }
 

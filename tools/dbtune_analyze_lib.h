@@ -71,6 +71,16 @@
 ///   metrics-export — MetricsSnapshot/ToJson outside src/obs; render
 ///                   metrics through obs/metrics_export
 ///
+/// Persistence paths (store/, obs/, benchmk/, the report and analyzer
+/// CLIs — the files whose writes ARE the durable state):
+///   unchecked-write — the result of fwrite/fprintf/fputs/fflush/fclose
+///                   is discarded (bare statement, (void) cast,
+///                   static_cast<void>, or comma operator), or an
+///                   ofstream is written but its state never checked.
+///                   A full disk or dead descriptor then fails silently
+///                   and truncates WAL/snapshot/dataset files. Writes to
+///                   stderr are exempt (best-effort diagnostics).
+///
 /// Suppressions (one syntax for every check):
 ///   * Single line — a trailing comment on the offending line:
 ///       ... code ...  // dbtune-lint: allow(<check>)

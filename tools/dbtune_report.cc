@@ -1,9 +1,11 @@
-// CLI: dbtune_report [-o report.md] session.jsonl [more.jsonl ...]
+// CLI: dbtune_report [-o report.md] [--store wal] [session.jsonl ...]
 //
 // Ingests session JSONL files written by obs::SessionLogger and renders
 // a markdown report (best-score sparklines, diagnostics summary, latency
-// percentiles). Writes to stdout unless -o is given. Exits nonzero when
-// an input file cannot be read.
+// percentiles). With --store, appends a summary of the durable
+// observation store at that path (sessions, recovery state, base-task
+// pool). Writes to stdout unless -o is given. Exits nonzero when an
+// input cannot be read or the output cannot be written in full.
 
 #include "dbtune_report_lib.h"
 
@@ -13,24 +15,80 @@
 #include <string>
 #include <vector>
 
+#include "store/observation_store.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: dbtune_report [-o report.md] [--store wal] [session.jsonl ...]\n";
+
+/// Flattens the opened store into the report library's plain-data form.
+dbtune_report::StoreSummary SummarizeStore(
+    const dbtune::store::ObservationStore& store) {
+  dbtune_report::StoreSummary summary;
+  summary.path = store.path();
+  const dbtune::store::StoreStats stats = store.stats();
+  summary.last_lsn = stats.last_lsn;
+  summary.loaded_snapshot = stats.loaded_snapshot;
+  summary.recovered_torn_tail = stats.recovered_torn_tail;
+  summary.tasks = store.num_tasks();
+  for (const dbtune::store::StoredSessionInfo& info : store.ListSessions()) {
+    dbtune_report::StoreSummary::Session session;
+    session.id = info.id;
+    session.dimension = info.dimension;
+    session.observations = info.observations;
+    session.finished = info.finished;
+    summary.sessions.push_back(std::move(session));
+  }
+  return summary;
+}
+
+/// Writes `report` to `path` ("" = stdout), checking every byte landed.
+int WriteReport(const std::string& report, const std::string& path) {
+  if (path.empty()) {
+    const size_t written =
+        std::fwrite(report.data(), 1, report.size(), stdout);
+    if (written != report.size() || std::fflush(stdout) != 0) {
+      std::fprintf(stderr, "dbtune_report: short write to stdout\n");
+      return 1;
+    }
+    return 0;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "dbtune_report: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const size_t written = std::fwrite(report.data(), 1, report.size(), out);
+  const bool closed = std::fclose(out) == 0;
+  if (written != report.size() || !closed) {
+    std::fprintf(stderr, "dbtune_report: short write to %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string output_path;
+  std::string store_path;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-o" && i + 1 < argc) {
       output_path = argv[++i];
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_path = argv[++i];
     } else if (arg == "-h" || arg == "--help") {
-      std::fprintf(stderr,
-                   "usage: dbtune_report [-o report.md] session.jsonl ...\n");
+      std::fprintf(stderr, "%s", kUsage);
       return 0;
     } else {
       inputs.push_back(arg);
     }
   }
-  if (inputs.empty()) {
-    std::fprintf(stderr,
-                 "usage: dbtune_report [-o report.md] session.jsonl ...\n");
+  if (inputs.empty() && store_path.empty()) {
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
 
@@ -48,19 +106,20 @@ int main(int argc, char** argv) {
         dbtune_report::ParseSessionJsonl(path, buffer.str()));
   }
 
-  const std::string report =
-      dbtune_report::RenderMarkdownReport(sessions);
-  if (output_path.empty()) {
-    std::fwrite(report.data(), 1, report.size(), stdout);
-    return 0;
+  std::string report;
+  if (!sessions.empty()) {
+    report = dbtune_report::RenderMarkdownReport(sessions);
   }
-  std::FILE* out = std::fopen(output_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "dbtune_report: cannot write %s\n",
-                 output_path.c_str());
-    return 1;
+  if (!store_path.empty()) {
+    auto opened = dbtune::store::ObservationStore::Open(store_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "dbtune_report: cannot open store %s: %s\n",
+                   store_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    if (!report.empty()) report += "\n";
+    report += dbtune_report::RenderStoreSummary(SummarizeStore(**opened));
   }
-  std::fwrite(report.data(), 1, report.size(), out);
-  std::fclose(out);
-  return 0;
+  return WriteReport(report, output_path);
 }

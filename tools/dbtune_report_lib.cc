@@ -231,4 +231,27 @@ std::string RenderMarkdownReport(const std::vector<SessionData>& sessions) {
   return out;
 }
 
+std::string RenderStoreSummary(const StoreSummary& summary) {
+  std::string out = "## Durable store\n\n";
+  out += "- path: `" + summary.path + "`\n";
+  out += "- last LSN: " + std::to_string(summary.last_lsn) + "\n";
+  out += "- recovery: ";
+  out += summary.loaded_snapshot ? "snapshot + wal replay" : "wal replay";
+  if (summary.recovered_torn_tail) out += " (torn tail truncated)";
+  out += "\n";
+  out += "- persisted base tasks: " + std::to_string(summary.tasks) + "\n\n";
+  if (summary.sessions.empty()) {
+    out += "No recorded sessions.\n";
+    return out;
+  }
+  out += "| session | dims | observations | state |\n";
+  out += "|---|---|---|---|\n";
+  for (const StoreSummary::Session& session : summary.sessions) {
+    out += "| " + session.id + " | " + std::to_string(session.dimension) +
+           " | " + std::to_string(session.observations) + " | " +
+           (session.finished ? "finished" : "in-flight") + " |\n";
+  }
+  return out;
+}
+
 }  // namespace dbtune_report

@@ -62,6 +62,27 @@ double Percentile(const std::vector<double>& sorted_values, double q);
 /// inputs → byte-identical output.
 std::string RenderMarkdownReport(const std::vector<SessionData>& sessions);
 
+/// Durable-store contents, flattened to plain data so this library stays
+/// independent of the dbtune library (the CLI opens the store and fills
+/// this in).
+struct StoreSummary {
+  std::string path;
+  struct Session {
+    std::string id;
+    size_t dimension = 0;
+    size_t observations = 0;
+    bool finished = false;
+  };
+  std::vector<Session> sessions;
+  size_t tasks = 0;
+  unsigned long long last_lsn = 0;
+  bool loaded_snapshot = false;
+  bool recovered_torn_tail = false;
+};
+
+/// Renders the "Durable store" markdown section. Deterministic.
+std::string RenderStoreSummary(const StoreSummary& summary);
+
 }  // namespace dbtune_report
 
 #endif  // DBTUNE_TOOLS_DBTUNE_REPORT_LIB_H_

@@ -1,0 +1,23 @@
+// Write results discarded on a persistence path (the store/ relpath
+// puts this file in unchecked-write scope): each lost return value here
+// is the only signal that the WAL/snapshot bytes actually reached disk.
+#include <cstdio>
+#include <fstream>
+
+namespace dbtune {
+
+void LoseWriteErrors(std::FILE* file, const char* buf, size_t n) {
+  std::fwrite(buf, 1, n, file);             // bare call statement
+  std::fprintf(file, "lsn=%zu\n", n);       // bare call statement
+  (void)std::fflush(file);                  // (void) cast
+  int unused = (std::fputs("x", file), 0);  // comma operator
+  static_cast<void>(std::fclose(file));     // static_cast<void>
+  (void)unused;
+}
+
+void LoseStreamErrors(const char* path) {
+  std::ofstream out(path);  // state never checked anywhere in this file
+  out << "snapshot-payload";
+}
+
+}  // namespace dbtune
