@@ -1,5 +1,6 @@
 #include "obs/metrics_export.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -149,7 +150,16 @@ std::string RenderPrometheusRegistry() {
 Status WritePrometheusSnapshot(const std::string& path) {
   if (path.empty()) return Status::InvalidArgument("empty export path");
   const std::string rendered = RenderPrometheusRegistry();
-  const std::string tmp = path + ".tmp";
+  // Concurrent snapshotters (the serve loop and the cadence exporter)
+  // must not share a temp file: with a fixed ".tmp" name, one writer's
+  // fopen("w") truncates another's in-flight bytes and the rename can
+  // publish a torn file. A per-call serial gives every writer a private
+  // temp; the atomic rename still publishes complete snapshots, with the
+  // last writer to rename winning.
+  static std::atomic<uint64_t> tmp_serial{0};
+  const std::string tmp =
+      path + ".tmp." +
+      std::to_string(tmp_serial.fetch_add(1, std::memory_order_relaxed));
   std::FILE* file = std::fopen(tmp.c_str(), "w");
   if (file == nullptr) {
     return Status::Internal("cannot open metrics export file " + tmp);

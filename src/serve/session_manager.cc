@@ -1,0 +1,299 @@
+#include "serve/session_manager.h"
+
+#include <utility>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "store/observation_store.h"
+
+namespace dbtune::serve {
+
+/// Per-session state. Guarded by its own mutex so requests for distinct
+/// sessions never serialize on the manager lock during optimizer work;
+/// `last_touch_seconds` is the exception (guarded by the manager mutex,
+/// written on lookup and read by the eviction sweep).
+struct ServedSession {
+  Mutex mu;
+  ServedSessionOptions options DBTUNE_GUARDED_BY(mu);
+  /// The session's own copy of the registered space (stable even if the
+  /// registry entry is later replaced).
+  ConfigurationSpace space DBTUNE_GUARDED_BY(mu);
+  /// Null while evicted; resurrection replays the durable history into a
+  /// fresh optimizer.
+  std::unique_ptr<Optimizer> optimizer DBTUNE_GUARDED_BY(mu);
+  /// Observations applied to `optimizer` (== durable history length).
+  size_t observed DBTUNE_GUARDED_BY(mu) = 0;
+  /// True between Suggest and the matching Observe.
+  bool suggestion_outstanding DBTUNE_GUARDED_BY(mu) = false;
+  bool closed DBTUNE_GUARDED_BY(mu) = false;
+  /// Guarded by the manager mutex, not `mu` (see above).
+  double last_touch_seconds = 0.0;
+};
+
+namespace {
+
+obs::Gauge& ActiveGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Get().gauge("serve.sessions.active");
+  return gauge;
+}
+
+/// Rebuilds the optimizer of a fresh or evicted session and replays the
+/// durable history through it — the same call sequence the standalone
+/// loop issues (SetReferenceScore, then Suggest/ObserveWithMetrics per
+/// iteration), so the resurrected optimizer state is bitwise identical
+/// to the pre-eviction one. No-op when the optimizer is already live.
+[[nodiscard]] Status ResurrectLocked(store::ObservationStore* store,
+                                     const std::string& id, ServedSession* s,
+                                     size_t* replayed)
+    DBTUNE_REQUIRES(s->mu) {
+  if (s->optimizer != nullptr) return Status::OK();
+  OptimizerOptions optimizer_options;
+  optimizer_options.seed = s->options.seed;
+  optimizer_options.initial_design = s->options.initial_design;
+  optimizer_options.acquisition_candidates = s->options.acquisition_candidates;
+  std::unique_ptr<Optimizer> optimizer = CreateOptimizer(
+      s->options.optimizer_type, s->space, optimizer_options);
+  optimizer->SetReferenceScore(s->options.reference_score);
+
+  size_t restored = 0;
+  if (store != nullptr) {
+    DBTUNE_RETURN_IF_ERROR(store->BeginSession(id, s->space.dimension()));
+    const store::StoredSession* stored = store->FindSession(id);
+    if (stored != nullptr) {
+      for (const Observation& recorded : stored->observations) {
+        const Configuration suggested = optimizer->Suggest();
+        if (!(s->space.Clip(suggested) == recorded.config)) {
+          return Status::Internal(
+              "stored history for session '" + id +
+              "' diverged at iteration " + std::to_string(restored + 1) +
+              "; it was recorded under a different optimizer, seed, or "
+              "space");
+        }
+        optimizer->ObserveWithMetrics(recorded.config, recorded.score,
+                                      recorded.internal_metrics);
+        ++restored;
+      }
+    }
+  }
+  if (restored < s->observed) {
+    return Status::FailedPrecondition(
+        "session '" + id + "' was evicted after " +
+        std::to_string(s->observed) +
+        " observations and no durable store can restore it");
+  }
+  // A suggestion outstanding at eviction time: re-advance the optimizer
+  // past it. Suggest is deterministic, so this re-derives exactly the
+  // configuration the client already holds.
+  if (s->suggestion_outstanding) {
+    // Optimizer::Suggest returns the Configuration the client already
+    // holds, not a Status; the analyzer cannot resolve the overload.
+    (void)optimizer->Suggest();  // dbtune-lint: allow(ignored-status)
+  }
+  s->observed = restored;
+  s->optimizer = std::move(optimizer);
+  if (replayed != nullptr) *replayed = restored;
+  return Status::OK();
+}
+
+}  // namespace
+
+SessionManager::SessionManager(SessionManagerOptions manager_options)
+    : options_(manager_options) {}
+
+SessionManager::~SessionManager() = default;
+
+void SessionManager::RegisterSpace(const std::string& name,
+                                   const ConfigurationSpace& definition) {
+  MutexLock lock(&mu_);
+  spaces_.insert_or_assign(name, definition);
+}
+
+ServedSession* SessionManager::FindSessionLocked(const std::string& id)
+    DBTUNE_REQUIRES(mu_) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  it->second->last_touch_seconds = obs::MonotonicSeconds();
+  return it->second.get();
+}
+
+Status SessionManager::CreateSession(const std::string& id,
+                                     const ServedSessionOptions& options,
+                                     size_t* replayed) {
+  if (replayed != nullptr) *replayed = 0;
+  ServedSession* session = nullptr;
+  {
+    MutexLock lock(&mu_);
+    auto space_it = spaces_.find(options.space_name);
+    if (space_it == spaces_.end()) {
+      return Status::NotFound("unknown configuration space '" +
+                              options.space_name + "'");
+    }
+    ServedSession* existing = FindSessionLocked(id);
+    if (existing != nullptr) {
+      MutexLock session_lock(&existing->mu);
+      if (existing->closed) {
+        return Status::FailedPrecondition("session '" + id + "' is closed");
+      }
+      if (existing->optimizer != nullptr) {
+        return Status::FailedPrecondition("session '" + id +
+                                          "' already exists");
+      }
+      // Evicted: adopt the (re)creation parameters and resurrect below.
+      // Divergent parameters surface as a replay mismatch, not silence.
+      existing->options = options;
+      existing->space = space_it->second;
+      session = existing;
+    } else {
+      auto created = std::make_unique<ServedSession>();
+      {
+        MutexLock session_lock(&created->mu);
+        created->options = options;
+        created->space = space_it->second;
+      }
+      created->last_touch_seconds = obs::MonotonicSeconds();
+      session = created.get();
+      sessions_.emplace(id, std::move(created));
+      ++open_sessions_;
+      if (obs::MetricsEnabled()) {
+        ActiveGauge().Set(static_cast<double>(open_sessions_));
+      }
+    }
+  }
+  MutexLock session_lock(&session->mu);
+  return ResurrectLocked(options_.store, id, session, replayed);
+}
+
+Result<Configuration> SessionManager::Suggest(const std::string& id) {
+  static obs::Histogram& latency_hist =
+      obs::MetricsRegistry::Get().histogram("serve.suggest.latency");
+  obs::ScopedLatency latency(&latency_hist);
+  ServedSession* session = nullptr;
+  {
+    MutexLock lock(&mu_);
+    session = FindSessionLocked(id);
+  }
+  if (session == nullptr) {
+    return Status::NotFound("unknown session '" + id + "'");
+  }
+  MutexLock session_lock(&session->mu);
+  if (session->closed) {
+    return Status::FailedPrecondition("session '" + id + "' is closed");
+  }
+  DBTUNE_RETURN_IF_ERROR(ResurrectLocked(options_.store, id, session, nullptr));
+  if (session->suggestion_outstanding) {
+    return Status::FailedPrecondition(
+        "session '" + id + "' has an unobserved suggestion outstanding");
+  }
+  Configuration config = session->optimizer->Suggest();
+  session->suggestion_outstanding = true;
+  return config;
+}
+
+Status SessionManager::Observe(const std::string& id,
+                               const Observation& observation) {
+  ServedSession* session = nullptr;
+  {
+    MutexLock lock(&mu_);
+    session = FindSessionLocked(id);
+  }
+  if (session == nullptr) {
+    return Status::NotFound("unknown session '" + id + "'");
+  }
+  MutexLock session_lock(&session->mu);
+  if (session->closed) {
+    return Status::FailedPrecondition("session '" + id + "' is closed");
+  }
+  DBTUNE_RETURN_IF_ERROR(ResurrectLocked(options_.store, id, session, nullptr));
+  if (!session->suggestion_outstanding) {
+    return Status::FailedPrecondition(
+        "session '" + id + "' has no outstanding suggestion to observe");
+  }
+  if (observation.config.size() != session->space.dimension()) {
+    return Status::InvalidArgument(
+        "observation dimension " + std::to_string(observation.config.size()) +
+        " does not match session space dimension " +
+        std::to_string(session->space.dimension()));
+  }
+  // Durable append before the optimizer learns, mirroring the standalone
+  // loop: a crash between the two re-learns from the WAL on resume.
+  if (options_.store != nullptr) {
+    DBTUNE_RETURN_IF_ERROR(options_.store->AppendObservation(
+        id, session->observed + 1, observation));
+  }
+  session->optimizer->ObserveWithMetrics(
+      observation.config, observation.score, observation.internal_metrics);
+  ++session->observed;
+  session->suggestion_outstanding = false;
+  return Status::OK();
+}
+
+Status SessionManager::CloseSession(const std::string& id) {
+  ServedSession* session = nullptr;
+  {
+    MutexLock lock(&mu_);
+    session = FindSessionLocked(id);
+  }
+  if (session == nullptr) {
+    return Status::NotFound("unknown session '" + id + "'");
+  }
+  {
+    MutexLock session_lock(&session->mu);
+    if (session->closed) {
+      return Status::FailedPrecondition("session '" + id +
+                                        "' is already closed");
+    }
+    // Seal non-empty trajectories as a transfer base task named after
+    // the session; empty sessions just close (no useless empty task).
+    if (options_.store != nullptr && session->observed > 0) {
+      DBTUNE_RETURN_IF_ERROR(
+          options_.store->FinishSession(id, session->space, id));
+    }
+    session->optimizer.reset();
+    session->closed = true;
+  }
+  MutexLock lock(&mu_);
+  --open_sessions_;
+  if (obs::MetricsEnabled()) {
+    ActiveGauge().Set(static_cast<double>(open_sessions_));
+  }
+  return Status::OK();
+}
+
+size_t SessionManager::EvictIdle() {
+  return EvictIdle(options_.idle_timeout_seconds);
+}
+
+size_t SessionManager::EvictIdle(double idle_timeout_seconds) {
+  if (idle_timeout_seconds <= 0.0) return 0;
+  const double now = obs::MonotonicSeconds();
+  MutexLock lock(&mu_);
+  size_t evicted = 0;
+  for (auto& entry : sessions_) {
+    ServedSession* session = entry.second.get();
+    if (now - session->last_touch_seconds < idle_timeout_seconds) continue;
+    MutexLock session_lock(&session->mu);
+    if (session->closed || session->optimizer == nullptr) continue;
+    session->optimizer.reset();
+    ++evicted;
+  }
+  return evicted;
+}
+
+size_t SessionManager::num_open() const {
+  MutexLock lock(&mu_);
+  return open_sessions_;
+}
+
+size_t SessionManager::num_resident() const {
+  MutexLock lock(&mu_);
+  size_t resident = 0;
+  for (const auto& entry : sessions_) {
+    ServedSession* session = entry.second.get();
+    MutexLock session_lock(&session->mu);
+    if (!session->closed && session->optimizer != nullptr) ++resident;
+  }
+  return resident;
+}
+
+}  // namespace dbtune::serve

@@ -328,6 +328,21 @@ TEST(AnalyzeTest, MutexGuardGapFires) {
   EXPECT_EQ(findings.size(), 1u);
 }
 
+TEST(AnalyzeTest, MutexGuardGapRespectsRequiresAfterAttribute) {
+  // `[[nodiscard]]` before the signature must not make the body parse as
+  // a lambda (which would skip the DBTUNE_REQUIRES annotation scan).
+  const std::string content =
+      "struct S {\n"
+      "  Mutex mu;\n"
+      "  int value DBTUNE_GUARDED_BY(mu);\n"
+      "};\n"
+      "[[nodiscard]] int Read(S* s) DBTUNE_REQUIRES(s->mu) {\n"
+      "  return s->value;\n"
+      "}\n";
+  const auto findings = AnalyzeSource("x.cc", "x.cc", content);
+  EXPECT_EQ(CountCheck(findings, "mutex-guard-gap"), 0);
+}
+
 TEST(AnalyzeTest, MutexGuardGapNearMissesStayQuiet) {
   // MutexLock in scope and DBTUNE_REQUIRES on the signature both count.
   const auto findings = AnalyzeFile(FixturePath("near_mutex_guard_gap.h"),
@@ -382,6 +397,35 @@ TEST(AnalyzeTest, UncheckedWriteCoversArtifactClis) {
       CountCheck(AnalyzeSource("x.cc", "core/tuning_session.cc", content),
                  "unchecked-write"),
       0);
+}
+
+TEST(AnalyzeTest, BlockingInSchedulerFiresOnEveryBlockingForm) {
+  const auto findings = AnalyzeFile(FixturePath("serve/bad_blocking.cc"),
+                                    "serve/bad_blocking.cc");
+  // fopen, fwrite, fclose, ofstream, ifstream, sleep_for, usleep,
+  // WaitAll; the fflush line carries an allow() and stays quiet.
+  EXPECT_EQ(CountCheck(findings, "blocking-in-scheduler"), 8);
+  EXPECT_EQ(findings.size(), 8u);
+  for (const Diagnostic& d : findings) {
+    EXPECT_EQ(d.severity, "error") << FormatDiagnostic(d);
+  }
+}
+
+TEST(AnalyzeTest, BlockingInSchedulerNearMissesStayQuiet) {
+  // Store-API persistence, ParallelFor as the join, banned vocabulary in
+  // comments/strings, and a plain variable named sleep are all fine.
+  const auto findings = AnalyzeFile(FixturePath("serve/near_blocking.cc"),
+                                    "serve/near_blocking.cc");
+  for (const Diagnostic& d : findings) ADD_FAILURE() << FormatDiagnostic(d);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeTest, BlockingInSchedulerOnlyAppliesUnderServe) {
+  // The same content outside serve/ (the store itself, a CLI) is the
+  // sanctioned home of file I/O and joins.
+  const auto findings = AnalyzeFile(FixturePath("serve/bad_blocking.cc"),
+                                    "store/scratch_io.cc");
+  EXPECT_EQ(CountCheck(findings, "blocking-in-scheduler"), 0);
 }
 
 TEST(AnalyzeTest, IgnoredStatusRespectsLocalNonStatusOverride) {
@@ -478,7 +522,8 @@ TEST(AnalyzeTest, RegistryMetadataIsComplete) {
       "ignored-status",       "mutex-guard-gap",     "random-seed",
       "naked-new",            "using-namespace-std", "include-guard",
       "iostream",             "raw-timing",          "predict-in-loop",
-      "gp-construction",      "metrics-export",      "unchecked-write"};
+      "gp-construction",      "metrics-export",      "unchecked-write",
+      "blocking-in-scheduler"};
   for (const std::string& id : required) {
     const auto it = std::find_if(
         Checks().begin(), Checks().end(),
@@ -517,6 +562,8 @@ TEST(AnalyzeTest, FixtureTreeFindsAllViolations) {
   EXPECT_EQ(CountCheck(findings, "mutex-guard-gap"), 1);
   // Persistence checks: the store/ fixture subdirectory is in scope.
   EXPECT_EQ(CountCheck(findings, "unchecked-write"), 6);
+  // Scheduler checks: the serve/ fixture subdirectory is in scope.
+  EXPECT_EQ(CountCheck(findings, "blocking-in-scheduler"), 8);
   for (const Diagnostic& d : findings) {
     EXPECT_EQ(d.path.find("near_"), std::string::npos) << FormatDiagnostic(d);
   }

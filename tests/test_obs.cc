@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,6 +18,7 @@
 #include "knobs/catalog.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/metrics_export.h"
 #include "obs/session_log.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -378,6 +381,44 @@ TEST_F(ObsTest, ConcurrentRecordingLosesNothing) {
   EXPECT_EQ(counter.value(), kEvents);
   EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kEvents));
   EXPECT_EQ(histogram.count(), kEvents);
+}
+
+// Regression: the serve loop and the cadence exporter snapshot the same
+// path concurrently. With a shared fixed ".tmp" name, one writer's
+// truncation raced another's rename and a torn file could be published;
+// per-call temp names keep every published snapshot complete.
+TEST_F(ObsTest, ConcurrentSnapshotWritersNeverPublishTornFiles) {
+  obs::ScopedMetricsForTest metrics_on;
+  obs::MetricsRegistry::Get().counter("test.snapshot.counter").Increment();
+  obs::MetricsRegistry::Get().gauge("test.snapshot.gauge").Set(4.0);
+  const std::string expected = obs::RenderPrometheusRegistry();
+  ASSERT_FALSE(expected.empty());
+
+  const std::string path = ::testing::TempDir() + "concurrent_metrics.prom";
+  std::remove(path.c_str());
+  constexpr size_t kWriters = 4;
+  constexpr size_t kWritesEach = 50;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&path] {
+      for (size_t i = 0; i < kWritesEach; ++i) {
+        EXPECT_TRUE(obs::WritePrometheusSnapshot(path).ok());
+      }
+    });
+  }
+  // The registry is static while the writers run, so every complete
+  // snapshot renders the same bytes: any read observing anything else
+  // caught a torn publish.
+  for (int reads = 0; reads < 200; ++reads) {
+    const std::string seen = ReadFile(path);
+    if (!seen.empty()) {
+      ASSERT_EQ(seen, expected) << "torn snapshot observed";
+    }
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(ReadFile(path), expected);
+  std::remove(path.c_str());
 }
 
 std::vector<size_t> FirstKnobs(size_t n) {

@@ -1,0 +1,724 @@
+// Serving layer: protocol framing round-trips, session lifecycle
+// (eviction, double close, suggest-after-close as Status — never
+// aborts), store-backed resurrection, and the headline invariant — a
+// served session's trajectory is bitwise identical to the standalone
+// in-process loop at every pool size, batch width, and dispatch mode.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tuning_session.h"
+#include "dbms/environment.h"
+#include "knobs/catalog.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "serve/batch_scheduler.h"
+#include "serve/frame_server.h"
+#include "serve/protocol.h"
+#include "serve/session_manager.h"
+#include "store/observation_store.h"
+#include "store/wal.h"
+#include "util/thread_pool.h"
+
+namespace dbtune {
+namespace {
+
+using serve::BatchScheduler;
+using serve::FrameServer;
+using serve::LoopbackTransport;
+using serve::SchedulerOptions;
+using serve::ServedSessionOptions;
+using serve::SessionManager;
+using serve::SessionManagerOptions;
+using store::ObservationStore;
+
+// Restores the previous pool size even when an assertion fails.
+class PoolSizeGuard {
+ public:
+  explicit PoolSizeGuard(size_t n)
+      : original_(ExecutionContext::Get().num_threads()) {
+    ExecutionContext::Get().SetNumThreads(n);
+  }
+  ~PoolSizeGuard() { ExecutionContext::Get().SetNumThreads(original_); }
+
+ private:
+  size_t original_;
+};
+
+std::vector<size_t> FirstKnobs(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+std::string ServeStorePath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "serve_" + name + ".wal";
+  std::remove(path.c_str());
+  std::remove((path + ".snapshot").c_str());
+  std::remove((path + ".snapshot.tmp").c_str());
+  return path;
+}
+
+// One served-vs-standalone comparison unit: a session id plus everything
+// that determines its trajectory.
+struct SessionSpec {
+  std::string id;
+  OptimizerType optimizer = OptimizerType::kVanillaBo;
+  uint64_t optimizer_seed = 1;
+  WorkloadId workload = WorkloadId::kSysbench;
+  uint64_t simulator_seed = 1;
+};
+
+std::vector<SessionSpec> MixedSpecs() {
+  return {
+      {"s-bo", OptimizerType::kVanillaBo, 11, WorkloadId::kSysbench, 21},
+      {"s-mixed", OptimizerType::kMixedKernelBo, 12, WorkloadId::kTpcc, 22},
+      {"s-smac", OptimizerType::kSmac, 13, WorkloadId::kJob, 23},
+      {"s-tpe", OptimizerType::kTpe, 14, WorkloadId::kTatp, 24},
+      {"s-turbo", OptimizerType::kTurbo, 15, WorkloadId::kSysbench, 25},
+      {"s-rand", OptimizerType::kRandomSearch, 16, WorkloadId::kTpcc, 26},
+  };
+}
+
+// The client side of one served session: its own simulator/environment
+// (the server never evaluates).
+struct ClientSession {
+  std::unique_ptr<DbmsSimulator> simulator;
+  std::unique_ptr<TuningEnvironment> env;
+};
+
+ClientSession MakeClient(const SessionSpec& spec) {
+  ClientSession client;
+  client.simulator = std::make_unique<DbmsSimulator>(
+      SmallTestCatalog(), spec.workload, HardwareInstance::kB,
+      spec.simulator_seed);
+  client.env = std::make_unique<TuningEnvironment>(
+      client.simulator.get(),
+      FirstKnobs(client.simulator->space().dimension()));
+  return client;
+}
+
+// The ground truth: the standalone in-process loop of core/tuning_session.
+std::vector<Observation> StandaloneHistory(const SessionSpec& spec,
+                                           size_t iterations) {
+  ClientSession client = MakeClient(spec);
+  OptimizerOptions options;
+  options.seed = spec.optimizer_seed;
+  std::unique_ptr<Optimizer> optimizer =
+      CreateOptimizer(spec.optimizer, client.env->space(), options);
+  RunTuningSession(client.env.get(), optimizer.get(), iterations);
+  return client.env->history();
+}
+
+ServedSessionOptions ToServedOptions(const SessionSpec& spec,
+                                     const ClientSession& client) {
+  ServedSessionOptions options;
+  options.space_name = "small";
+  options.optimizer_type = spec.optimizer;
+  options.seed = spec.optimizer_seed;
+  options.reference_score = client.env->default_score();
+  return options;
+}
+
+// Drives every spec through the serving layer for `iterations` rounds:
+// all suggests of a round batch through the scheduler, each client
+// evaluates its own configuration, all observes batch back.
+std::vector<std::vector<Observation>> ServedHistories(
+    const std::vector<SessionSpec>& specs, size_t iterations,
+    size_t batch_width, bool batched,
+    ObservationStore* store = nullptr) {
+  SessionManagerOptions manager_options;
+  manager_options.store = store;
+  SessionManager manager(manager_options);
+  std::vector<ClientSession> clients;
+  clients.reserve(specs.size());
+  for (const SessionSpec& spec : specs) clients.push_back(MakeClient(spec));
+  manager.RegisterSpace("small", clients.front().env->space());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    EXPECT_TRUE(
+        manager.CreateSession(specs[s].id, ToServedOptions(specs[s],
+                                                           clients[s]))
+            .ok());
+  }
+
+  SchedulerOptions scheduler_options;
+  scheduler_options.batch_width = batch_width;
+  scheduler_options.batched = batched;
+  BatchScheduler scheduler(&manager, scheduler_options);
+
+  std::vector<uint64_t> tickets(specs.size());
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    for (size_t s = 0; s < specs.size(); ++s) {
+      tickets[s] = scheduler.EnqueueSuggest(specs[s].id);
+    }
+    scheduler.Drain();
+    std::vector<Observation> outcomes(specs.size());
+    for (size_t s = 0; s < specs.size(); ++s) {
+      Result<Configuration> suggested = scheduler.TakeSuggest(tickets[s]);
+      EXPECT_TRUE(suggested.ok()) << suggested.status().ToString();
+      outcomes[s] = clients[s].env->Evaluate(*suggested);
+    }
+    for (size_t s = 0; s < specs.size(); ++s) {
+      tickets[s] = scheduler.EnqueueObserve(specs[s].id, outcomes[s]);
+    }
+    scheduler.Drain();
+    for (size_t s = 0; s < specs.size(); ++s) {
+      EXPECT_TRUE(scheduler.TakeObserve(tickets[s]).ok());
+    }
+  }
+
+  std::vector<std::vector<Observation>> histories;
+  histories.reserve(specs.size());
+  for (ClientSession& client : clients) {
+    histories.push_back(client.env->history());
+  }
+  return histories;
+}
+
+void ExpectBitwiseEqual(const std::vector<Observation>& expected,
+                        const std::vector<Observation>& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(expected[i].config == actual[i].config)
+        << label << " config diverged at iteration " << (i + 1);
+    EXPECT_EQ(expected[i].score, actual[i].score)
+        << label << " score diverged at iteration " << (i + 1);
+    EXPECT_EQ(expected[i].objective, actual[i].objective)
+        << label << " objective diverged at iteration " << (i + 1);
+    EXPECT_EQ(expected[i].failed, actual[i].failed)
+        << label << " failed flag diverged at iteration " << (i + 1);
+    EXPECT_EQ(expected[i].internal_metrics, actual[i].internal_metrics)
+        << label << " metrics diverged at iteration " << (i + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance invariant: served == standalone, bitwise, at pools
+// 1/2/8 and batch widths 1/8/64.
+
+TEST(ServeEqualityTest, ServedMatchesStandaloneAcrossPoolsAndWidths) {
+  const std::vector<SessionSpec> specs = MixedSpecs();
+  const size_t iterations = 14;
+  std::vector<std::vector<Observation>> standalone;
+  standalone.reserve(specs.size());
+  for (const SessionSpec& spec : specs) {
+    standalone.push_back(StandaloneHistory(spec, iterations));
+  }
+  for (size_t pool : {1u, 2u, 8u}) {
+    PoolSizeGuard guard(pool);
+    for (size_t width : {1u, 8u, 64u}) {
+      const auto served =
+          ServedHistories(specs, iterations, width, /*batched=*/true);
+      for (size_t s = 0; s < specs.size(); ++s) {
+        ExpectBitwiseEqual(standalone[s], served[s],
+                           specs[s].id + " pool=" + std::to_string(pool) +
+                               " width=" + std::to_string(width));
+      }
+    }
+  }
+}
+
+TEST(ServeEqualityTest, UnbatchedDispatchMatchesStandalone) {
+  const std::vector<SessionSpec> specs = MixedSpecs();
+  const size_t iterations = 10;
+  PoolSizeGuard guard(8);
+  const auto served =
+      ServedHistories(specs, iterations, /*batch_width=*/64,
+                      /*batched=*/false);
+  for (size_t s = 0; s < specs.size(); ++s) {
+    ExpectBitwiseEqual(StandaloneHistory(specs[s], iterations), served[s],
+                       specs[s].id + " unbatched");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session lifecycle: protocol misuse returns Status, never aborts.
+
+ConfigurationSpace SmallSpace() {
+  DbmsSimulator sim(SmallTestCatalog(), WorkloadId::kSysbench,
+                    HardwareInstance::kB, 7);
+  TuningEnvironment env(&sim, FirstKnobs(sim.space().dimension()));
+  return env.space();
+}
+
+ServedSessionOptions SmallOptions(uint64_t seed = 5) {
+  ServedSessionOptions options;
+  options.space_name = "small";
+  options.optimizer_type = OptimizerType::kRandomSearch;
+  options.seed = seed;
+  options.reference_score = 100.0;
+  return options;
+}
+
+TEST(ServeLifecycleTest, UnknownSpaceAndSessionAreNotFound) {
+  SessionManager manager;
+  EXPECT_EQ(manager.CreateSession("a", SmallOptions()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(manager.Suggest("a").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.Observe("a", Observation{}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(manager.CloseSession("a").code(), StatusCode::kNotFound);
+}
+
+TEST(ServeLifecycleTest, DoubleCreateDoubleCloseAndUseAfterCloseAreErrors) {
+  SessionManager manager;
+  manager.RegisterSpace("small", SmallSpace());
+  ASSERT_TRUE(manager.CreateSession("a", SmallOptions()).ok());
+  EXPECT_EQ(manager.CreateSession("a", SmallOptions()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.num_open(), 1u);
+
+  ASSERT_TRUE(manager.CloseSession("a").ok());
+  EXPECT_EQ(manager.num_open(), 0u);
+  EXPECT_EQ(manager.CloseSession("a").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.Suggest("a").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.Observe("a", Observation{}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.CreateSession("a", SmallOptions()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServeLifecycleTest, SuggestObserveAlternationIsEnforced) {
+  SessionManager manager;
+  manager.RegisterSpace("small", SmallSpace());
+  ASSERT_TRUE(manager.CreateSession("a", SmallOptions()).ok());
+  // Observe before any suggest: no outstanding suggestion.
+  EXPECT_EQ(manager.Observe("a", Observation{}).code(),
+            StatusCode::kFailedPrecondition);
+  Result<Configuration> first = manager.Suggest("a");
+  ASSERT_TRUE(first.ok());
+  // Second suggest before the observe.
+  EXPECT_EQ(manager.Suggest("a").status().code(),
+            StatusCode::kFailedPrecondition);
+  // Wrong dimension is InvalidArgument, not a crash.
+  Observation wrong;
+  wrong.config = Configuration(std::vector<double>{1.0});
+  EXPECT_EQ(manager.Observe("a", wrong).code(),
+            StatusCode::kInvalidArgument);
+  Observation ok_obs;
+  ok_obs.config = *first;
+  ok_obs.score = 1.0;
+  EXPECT_TRUE(manager.Observe("a", ok_obs).ok());
+  EXPECT_TRUE(manager.Suggest("a").ok());
+}
+
+TEST(ServeLifecycleTest, IdleSessionsAreEvictedUnderFakeClock) {
+  obs::EnableFakeClockForTest();
+  SessionManagerOptions options;
+  options.idle_timeout_seconds = 0.05;  // 50 fake-clock ticks
+  SessionManager manager(options);
+  manager.RegisterSpace("small", SmallSpace());
+  ASSERT_TRUE(manager.CreateSession("busy", SmallOptions(1)).ok());
+  ASSERT_TRUE(manager.CreateSession("idle", SmallOptions(2)).ok());
+  EXPECT_EQ(manager.num_resident(), 2u);
+
+  // Give "idle" history so losing its optimizer actually loses state (a
+  // zero-observation session resurrects trivially, store or not).
+  {
+    Result<Configuration> suggested = manager.Suggest("idle");
+    ASSERT_TRUE(suggested.ok());
+    Observation obs;
+    obs.config = *suggested;
+    obs.score = 1.0;
+    ASSERT_TRUE(manager.Observe("idle", obs).ok());
+  }
+
+  // Keep "busy" warm while the fake clock marches 1ms per read; "idle"
+  // is never touched again.
+  for (int i = 0; i < 80; ++i) {
+    Result<Configuration> suggested = manager.Suggest("busy");
+    ASSERT_TRUE(suggested.ok());
+    Observation obs;
+    obs.config = *suggested;
+    obs.score = static_cast<double>(i);
+    ASSERT_TRUE(manager.Observe("busy", obs).ok());
+  }
+  EXPECT_EQ(manager.EvictIdle(), 1u);
+  EXPECT_EQ(manager.num_resident(), 1u);
+  EXPECT_EQ(manager.num_open(), 2u);  // evicted, not closed
+
+  // Without a durable store the evicted session cannot come back.
+  EXPECT_EQ(manager.Suggest("idle").status().code(),
+            StatusCode::kFailedPrecondition);
+  // The busy session is untouched.
+  EXPECT_TRUE(manager.Suggest("busy").ok());
+  obs::DisableFakeClockForTest();
+}
+
+// ---------------------------------------------------------------------------
+// Store-backed resurrection: the PR 9 replay path.
+
+// Runs `spec` through a served manager bound to `store` for
+// `iterations` rounds, evicting (or closing/recreating) mid-way, and
+// expects the client history to match the standalone run bitwise.
+TEST(ServeStoreTest, EvictedSessionResumesBitIdentically) {
+  const std::string path = ServeStorePath("evict_resume");
+  auto opened = ObservationStore::Open(path);
+  ASSERT_TRUE(opened.ok());
+  ObservationStore* store = opened.value().get();
+
+  const SessionSpec spec{"evictee", OptimizerType::kSmac, 31,
+                         WorkloadId::kSysbench, 41};
+  const size_t iterations = 12;
+  const std::vector<Observation> standalone =
+      StandaloneHistory(spec, iterations);
+
+  obs::EnableFakeClockForTest();
+  SessionManagerOptions manager_options;
+  manager_options.store = store;
+  SessionManager manager(manager_options);
+  ClientSession client = MakeClient(spec);
+  manager.RegisterSpace("small", client.env->space());
+  ASSERT_TRUE(
+      manager.CreateSession(spec.id, ToServedOptions(spec, client)).ok());
+
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    Result<Configuration> suggested = manager.Suggest(spec.id);
+    ASSERT_TRUE(suggested.ok()) << suggested.status().ToString();
+    const Observation outcome = client.env->Evaluate(*suggested);
+    // Evict while a suggestion is outstanding at iteration 5, and
+    // between rounds at iteration 8: both must resume seamlessly.
+    if (iter == 5) {
+      EXPECT_EQ(manager.EvictIdle(1e-9), 1u);
+      EXPECT_EQ(manager.num_resident(), 0u);
+    }
+    ASSERT_TRUE(manager.Observe(spec.id, outcome).ok());
+    if (iter == 8) {
+      EXPECT_EQ(manager.EvictIdle(1e-9), 1u);
+    }
+  }
+  ExpectBitwiseEqual(standalone, client.env->history(), "evicted-resume");
+  obs::DisableFakeClockForTest();
+}
+
+TEST(ServeStoreTest, EvictedThenRecreatedSessionReplaysFromStore) {
+  const std::string path = ServeStorePath("recreate");
+  auto opened = ObservationStore::Open(path);
+  ASSERT_TRUE(opened.ok());
+  ObservationStore* store = opened.value().get();
+
+  const SessionSpec spec{"phoenix", OptimizerType::kVanillaBo, 51,
+                         WorkloadId::kTpcc, 61};
+  const size_t iterations = 12;
+  const size_t split = 7;
+  const std::vector<Observation> standalone =
+      StandaloneHistory(spec, iterations);
+
+  obs::EnableFakeClockForTest();
+  SessionManagerOptions manager_options;
+  manager_options.store = store;
+  ClientSession client = MakeClient(spec);
+
+  {
+    SessionManager manager(manager_options);
+    manager.RegisterSpace("small", client.env->space());
+    ASSERT_TRUE(
+        manager.CreateSession(spec.id, ToServedOptions(spec, client)).ok());
+    for (size_t iter = 0; iter < split; ++iter) {
+      Result<Configuration> suggested = manager.Suggest(spec.id);
+      ASSERT_TRUE(suggested.ok());
+      ASSERT_TRUE(
+          manager.Observe(spec.id, client.env->Evaluate(*suggested)).ok());
+    }
+    EXPECT_EQ(manager.EvictIdle(1e-9), 1u);
+    // Recreating the evicted id with the same parameters replays the
+    // stored prefix into a fresh optimizer.
+    size_t replayed = 0;
+    ASSERT_TRUE(manager
+                    .CreateSession(spec.id, ToServedOptions(spec, client),
+                                   &replayed)
+                    .ok());
+    EXPECT_EQ(replayed, split);
+    for (size_t iter = split; iter < iterations; ++iter) {
+      Result<Configuration> suggested = manager.Suggest(spec.id);
+      ASSERT_TRUE(suggested.ok());
+      ASSERT_TRUE(
+          manager.Observe(spec.id, client.env->Evaluate(*suggested)).ok());
+    }
+  }
+  ExpectBitwiseEqual(standalone, client.env->history(),
+                     "evict-recreate-resume");
+
+  // A brand-new manager over the same store (process restart) resumes
+  // the finished trajectory count too: replay consumes all 12.
+  SessionManager restarted(manager_options);
+  ClientSession probe = MakeClient(spec);
+  restarted.RegisterSpace("small", probe.env->space());
+  size_t replayed = 0;
+  ASSERT_TRUE(restarted
+                  .CreateSession(spec.id, ToServedOptions(spec, probe),
+                                 &replayed)
+                  .ok());
+  EXPECT_EQ(replayed, iterations);
+  obs::DisableFakeClockForTest();
+}
+
+TEST(ServeStoreTest, CloseSealsTrajectoryAsTransferTask) {
+  const std::string path = ServeStorePath("seal");
+  auto opened = ObservationStore::Open(path);
+  ASSERT_TRUE(opened.ok());
+  ObservationStore* store = opened.value().get();
+
+  SessionManagerOptions options;
+  options.store = store;
+  SessionManager manager(options);
+  manager.RegisterSpace("small", SmallSpace());
+  ASSERT_TRUE(manager.CreateSession("sealed", SmallOptions(9)).ok());
+  for (int i = 0; i < 3; ++i) {
+    Result<Configuration> suggested = manager.Suggest("sealed");
+    ASSERT_TRUE(suggested.ok());
+    Observation obs;
+    obs.config = *suggested;
+    obs.score = 10.0 + i;
+    ASSERT_TRUE(manager.Observe("sealed", obs).ok());
+  }
+  EXPECT_EQ(store->num_tasks(), 0u);
+  ASSERT_TRUE(manager.CloseSession("sealed").ok());
+  EXPECT_EQ(store->num_tasks(), 1u);
+  // Sealed in the store too: the stored session is finished.
+  const store::StoredSession* stored = store->FindSession("sealed");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_TRUE(stored->finished);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol framing.
+
+TEST(ServeProtocolTest, FramesRoundTripThroughDribbledReader) {
+  serve::CreateSessionRequest create;
+  create.session_id = "sess-1";
+  create.space_name = "small";
+  create.optimizer_type = static_cast<uint8_t>(OptimizerType::kSmac);
+  create.seed = 77;
+  create.reference_score = 123.456;
+  create.initial_design = 8;
+  create.acquisition_candidates = 120;
+  serve::ObserveRequest observe;
+  observe.session_id = "sess-1";
+  observe.config = {1.0, -2.5, 3e17};
+  observe.score = 9.25;
+  observe.objective = -9.25;
+  observe.failed = 1;
+  observe.internal_metrics = {0.5, 0.25};
+
+  const std::string wire = serve::EncodeCreateSession(1, create) +
+                           serve::EncodeSuggest(2, {"sess-1"}) +
+                           serve::EncodeObserve(3, observe) +
+                           serve::EncodeCloseSession(4, {"sess-1"});
+
+  // Feed the reader one byte at a time: frames must assemble across
+  // arbitrarily fragmented reads.
+  serve::FrameReader reader;
+  std::vector<serve::Frame> frames;
+  for (char byte : wire) {
+    reader.Append(std::string_view(&byte, 1));
+    serve::Frame frame;
+    Result<bool> got = reader.Next(&frame);
+    ASSERT_TRUE(got.ok());
+    if (*got) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+
+  Result<serve::CreateSessionRequest> create2 =
+      serve::DecodeCreateSession(frames[0]);
+  ASSERT_TRUE(create2.ok());
+  EXPECT_EQ(frames[0].request_id, 1u);
+  EXPECT_EQ(create2->session_id, "sess-1");
+  EXPECT_EQ(create2->space_name, "small");
+  EXPECT_EQ(create2->optimizer_type,
+            static_cast<uint8_t>(OptimizerType::kSmac));
+  EXPECT_EQ(create2->seed, 77u);
+  EXPECT_EQ(create2->reference_score, 123.456);
+  EXPECT_EQ(create2->initial_design, 8u);
+  EXPECT_EQ(create2->acquisition_candidates, 120u);
+
+  Result<serve::SuggestRequest> suggest2 = serve::DecodeSuggest(frames[1]);
+  ASSERT_TRUE(suggest2.ok());
+  EXPECT_EQ(suggest2->session_id, "sess-1");
+
+  Result<serve::ObserveRequest> observe2 = serve::DecodeObserve(frames[2]);
+  ASSERT_TRUE(observe2.ok());
+  EXPECT_EQ(observe2->config, observe.config);  // bitwise doubles
+  EXPECT_EQ(observe2->score, observe.score);
+  EXPECT_EQ(observe2->failed, 1);
+  EXPECT_EQ(observe2->internal_metrics, observe.internal_metrics);
+
+  Result<serve::CloseSessionRequest> close2 =
+      serve::DecodeCloseSession(frames[3]);
+  ASSERT_TRUE(close2.ok());
+  EXPECT_EQ(close2->session_id, "sess-1");
+}
+
+TEST(ServeProtocolTest, MalformedFramesAreRejected) {
+  // Oversized length prefix.
+  std::string oversized;
+  const uint32_t huge = serve::kMaxPayloadBytes + 1;
+  for (size_t i = 0; i < 4; ++i) {
+    oversized.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+  }
+  serve::Frame frame;
+  EXPECT_FALSE(serve::DecodeFrame(oversized, &frame).ok());
+
+  // Payload shorter than type tag + request id.
+  std::string runt;
+  for (size_t i = 0; i < 4; ++i) {
+    runt.push_back(static_cast<char>(i == 0 ? 4 : 0));
+  }
+  runt += std::string(4, '\0');
+  EXPECT_FALSE(serve::DecodeFrame(runt, &frame).ok());
+
+  // Trailing garbage after a valid body is an error, not ignored.
+  serve::Frame padded;
+  padded.type = serve::MessageType::kSuggest;
+  padded.request_id = 9;
+  store::WalEncoder enc;
+  enc.PutString("sess");
+  padded.body = enc.bytes() + "extra";
+  EXPECT_FALSE(serve::DecodeSuggest(padded).ok());
+
+  // Type confusion is an error too.
+  serve::Frame suggest;
+  suggest.type = serve::MessageType::kSuggest;
+  suggest.request_id = 1;
+  store::WalEncoder enc2;
+  enc2.PutString("sess");
+  suggest.body = enc2.bytes();
+  EXPECT_FALSE(serve::DecodeObserve(suggest).ok());
+  EXPECT_TRUE(serve::DecodeSuggest(suggest).ok());
+}
+
+TEST(ServeProtocolTest, StatusHeaderRoundTrips) {
+  const Status failed = Status::FailedPrecondition("closed");
+  const Status decoded =
+      serve::StatusFromHeader(serve::HeaderFromStatus(failed));
+  EXPECT_EQ(decoded.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(decoded.message(), "closed");
+  EXPECT_TRUE(
+      serve::StatusFromHeader(serve::HeaderFromStatus(Status::OK())).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Frame server over the loopback transport: the full wire path drives a
+// session to the same trajectory as the standalone loop.
+
+TEST(ServeFrameServerTest, LoopbackSessionMatchesStandalone) {
+  const SessionSpec spec{"wire", OptimizerType::kTpe, 71, WorkloadId::kTatp,
+                         81};
+  const size_t iterations = 8;
+  const std::vector<Observation> standalone =
+      StandaloneHistory(spec, iterations);
+
+  SessionManager manager;
+  ClientSession client = MakeClient(spec);
+  manager.RegisterSpace("small", client.env->space());
+  BatchScheduler scheduler(&manager, {});
+  FrameServer server(&manager, &scheduler);
+  LoopbackTransport transport;
+  serve::FrameReader client_reader;
+  uint64_t next_request = 1;
+
+  auto exchange = [&](const std::string& bytes) {
+    transport.SendToServer(bytes);
+    EXPECT_TRUE(server.ServeBuffered(&transport).ok());
+    client_reader.Append(transport.DrainClientInbox());
+    std::vector<serve::Frame> replies;
+    serve::Frame frame;
+    while (true) {
+      Result<bool> got = client_reader.Next(&frame);
+      EXPECT_TRUE(got.ok());
+      if (!got.ok() || !*got) break;
+      replies.push_back(frame);
+    }
+    return replies;
+  };
+
+  serve::CreateSessionRequest create;
+  create.session_id = spec.id;
+  create.space_name = "small";
+  create.optimizer_type = static_cast<uint8_t>(spec.optimizer);
+  create.seed = spec.optimizer_seed;
+  create.reference_score = client.env->default_score();
+  auto replies =
+      exchange(serve::EncodeCreateSession(next_request++, create));
+  ASSERT_EQ(replies.size(), 1u);
+  Result<serve::CreateSessionResponse> created =
+      serve::DecodeCreateSessionResponse(replies[0]);
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(serve::StatusFromHeader(created->header).ok());
+
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    replies = exchange(serve::EncodeSuggest(next_request++, {spec.id}));
+    ASSERT_EQ(replies.size(), 1u);
+    Result<serve::SuggestResponse> suggested =
+        serve::DecodeSuggestResponse(replies[0]);
+    ASSERT_TRUE(suggested.ok());
+    ASSERT_TRUE(serve::StatusFromHeader(suggested->header).ok());
+    const Observation outcome =
+        client.env->Evaluate(Configuration(suggested->config));
+    serve::ObserveRequest observe;
+    observe.session_id = spec.id;
+    observe.config = outcome.config.values();
+    observe.score = outcome.score;
+    observe.objective = outcome.objective;
+    observe.failed = outcome.failed ? 1 : 0;
+    observe.internal_metrics = outcome.internal_metrics;
+    replies = exchange(serve::EncodeObserve(next_request++, observe));
+    ASSERT_EQ(replies.size(), 1u);
+    Result<serve::ObserveResponse> observed =
+        serve::DecodeObserveResponse(replies[0]);
+    ASSERT_TRUE(observed.ok());
+    EXPECT_TRUE(serve::StatusFromHeader(observed->header).ok());
+  }
+  ExpectBitwiseEqual(standalone, client.env->history(), "loopback");
+
+  // Close, then a suggest for the closed session comes back as a
+  // FailedPrecondition response frame — the server never aborts.
+  replies = exchange(serve::EncodeCloseSession(next_request++, {spec.id}));
+  ASSERT_EQ(replies.size(), 1u);
+  Result<serve::CloseSessionResponse> closed =
+      serve::DecodeCloseSessionResponse(replies[0]);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(serve::StatusFromHeader(closed->header).ok());
+  replies = exchange(serve::EncodeSuggest(next_request++, {spec.id}));
+  ASSERT_EQ(replies.size(), 1u);
+  Result<serve::SuggestResponse> rejected =
+      serve::DecodeSuggestResponse(replies[0]);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(serve::StatusFromHeader(rejected->header).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Serving metrics.
+
+TEST(ServeMetricsTest, ServeMetricsAreRecorded) {
+  obs::ScopedMetricsForTest metrics;
+  const std::vector<SessionSpec> specs = {
+      {"m-1", OptimizerType::kRandomSearch, 1, WorkloadId::kSysbench, 2},
+      {"m-2", OptimizerType::kRandomSearch, 3, WorkloadId::kSysbench, 4},
+  };
+  (void)ServedHistories(specs, 3, /*batch_width=*/8, /*batched=*/true);
+  auto& registry = obs::MetricsRegistry::Get();
+  const obs::Gauge* active = registry.FindGauge("serve.sessions.active");
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active->value(), 2.0);  // never closed in ServedHistories
+  const obs::Histogram* latency =
+      registry.FindHistogram("serve.suggest.latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 2u * 3u);
+  const obs::Histogram* width = registry.FindHistogram("serve.batch.width");
+  ASSERT_NE(width, nullptr);
+  EXPECT_GT(width->count(), 0u);
+}
+
+}  // namespace
+}  // namespace dbtune

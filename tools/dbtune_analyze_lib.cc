@@ -77,6 +77,13 @@ const std::vector<CheckInfo>& Registry() {
        "disk or dead descriptor fails silently and truncates durable state",
        "check the return of fwrite/fprintf/fflush/fclose (or the stream "
        "state after writing) and surface the failure"},
+      {"blocking-in-scheduler", "error",
+       "blocking call (file I/O, sleep, WaitAll) on a serve scheduler "
+       "path; the batch loop multiplexes every session, so one blocking "
+       "call stalls all of them",
+       "persist through the ObservationStore API, join parallel work via "
+       "ParallelFor, and drive timeouts from the idle sweep's clock "
+       "instead of sleeping"},
       {"io", "error", "file could not be read",
        "check that the path exists and is readable"},
   };
@@ -504,6 +511,7 @@ struct PathRules {
   bool optimizer = false;      // predict-in-loop / gp-construction apply
   bool metrics_export = true;  // metrics-export applies
   bool persistence = false;    // unchecked-write applies
+  bool scheduler = false;      // blocking-in-scheduler applies
 };
 
 class Analyzer {
@@ -749,6 +757,29 @@ class Analyzer {
                  ") outside src/obs — render metrics through "
                  "obs/metrics_export so exports stay consistently escaped "
                  "and named");
+    }
+
+    if (rules_.scheduler) {
+      // The serving loop multiplexes every session over the scheduler
+      // thread; a blocking call there stalls all of them. File I/O must
+      // flow through the ObservationStore API, joins through ParallelFor
+      // (whose internal join is the one sanctioned wait), and timeouts
+      // through the idle sweep's clock.
+      static const std::set<std::string> kBlockingCalls = {
+          "fopen",     "fread",       "fwrite", "fprintf",  "fputs",
+          "fflush",    "fclose",      "sleep",  "usleep",   "nanosleep",
+          "sleep_for", "sleep_until", "WaitAll"};
+      const bool stream_type =
+          ident == "ifstream" || ident == "ofstream" || ident == "fstream";
+      if ((call && kBlockingCalls.count(ident) != 0) || stream_type) {
+        Report(t.line, "blocking-in-scheduler",
+               "blocking `" + ident +
+                   "` on a serve scheduler path — the batch loop "
+                   "multiplexes every session, so one blocking call stalls "
+                   "all of them; persist through the ObservationStore API, "
+                   "join via ParallelFor, and drive timeouts from the idle "
+                   "sweep's clock");
+      }
     }
 
     if (ident == "new") {
@@ -1048,9 +1079,10 @@ class Analyzer {
   }
 
   void HandleBracket(size_t i) {
-    // `[[attribute]]` — skip; subscript when the previous token can end an
-    // expression; otherwise a lambda introducer.
+    // `[[attribute]]` — skip both brackets; subscript when the previous
+    // token can end an expression; otherwise a lambda introducer.
     if (IsPunct(i + 1, "[")) return;
+    if (i > 0 && IsPunct(i - 1, "[")) return;
     if (i > 0) {
       const Token& prev = tokens_[i - 1];
       if (prev.kind == Token::kIdent || prev.kind == Token::kNumber ||
@@ -1367,6 +1399,9 @@ PathRules RulesFor(const std::string& relpath) {
                       StartsWith(relpath, "benchmk/") ||
                       relpath.find("dbtune_report") != std::string::npos ||
                       relpath.find("dbtune_analyze") != std::string::npos;
+  // The serving layer's scheduler path must never block: every session
+  // shares the batch loop.
+  rules.scheduler = StartsWith(relpath, "serve/");
   return rules;
 }
 
@@ -1497,6 +1532,7 @@ TreeReport AnalyzeTree(const std::string& root) {
   };
   std::vector<FileState> states(files.size());
   std::set<std::string> status_index;
+  std::set<std::string> nonstatus_index;
   std::map<std::string, std::set<std::string>> guarded_by_stem;
   for (size_t f = 0; f < files.size(); ++f) {
     std::string text;
@@ -1508,6 +1544,8 @@ TreeReport AnalyzeTree(const std::string& root) {
     states[f].decls = CollectDecls(states[f].scan);
     status_index.insert(states[f].decls.status_fns.begin(),
                         states[f].decls.status_fns.end());
+    nonstatus_index.insert(states[f].decls.nonstatus_fns.begin(),
+                           states[f].decls.nonstatus_fns.end());
     const std::string stem =
         files[f].second.substr(0, files[f].second.rfind('.'));
     guarded_by_stem[stem].insert(states[f].decls.guarded.begin(),
@@ -1528,8 +1566,20 @@ TreeReport AnalyzeTree(const std::string& root) {
     ++report.files_analyzed;
     const std::string stem =
         files[f].second.substr(0, files[f].second.rfind('.'));
+    // A name declared with a non-Status return type anywhere in the tree
+    // is ambiguous — the token pipeline cannot resolve which overload a
+    // call binds to — so it stays in this file's index only when the
+    // file itself declares the Status-returning form (e.g. the serving
+    // layer's `Status Observe(...)` must not flag the optimizer
+    // hierarchy's `void Observe(...)` call sites tree-wide).
+    std::set<std::string> file_status = status_index;
+    for (const std::string& name : nonstatus_index) {
+      if (states[f].decls.status_fns.count(name) == 0) {
+        file_status.erase(name);
+      }
+    }
     const std::vector<Diagnostic> file_diags = AnalyzeScanned(
-        states[f].scan, states[f].decls, guarded_by_stem[stem], status_index,
+        states[f].scan, states[f].decls, guarded_by_stem[stem], file_status,
         display, files[f].second, guard_prefix);
     report.diagnostics.insert(report.diagnostics.end(), file_diags.begin(),
                               file_diags.end());

@@ -81,6 +81,16 @@
 ///                   and truncates WAL/snapshot/dataset files. Writes to
 ///                   stderr are exempt (best-effort diagnostics).
 ///
+/// Scheduler paths (serve/ — the batch loop multiplexing every session):
+///   blocking-in-scheduler — a blocking call on a serve/ path: C stdio
+///                   (fopen/fread/fwrite/.../fclose), std file streams
+///                   (ifstream/ofstream/fstream), sleeps (sleep_for,
+///                   sleep_until, usleep, nanosleep, sleep), or a
+///                   ThreadPool WaitAll. One blocked scheduler turn
+///                   stalls every concurrent session; durable writes
+///                   belong behind the ObservationStore API and the only
+///                   sanctioned join is ParallelFor's internal one.
+///
 /// Suppressions (one syntax for every check):
 ///   * Single line — a trailing comment on the offending line:
 ///       ... code ...  // dbtune-lint: allow(<check>)

@@ -1,0 +1,30 @@
+// Fixture: blocking-in-scheduler. Every blocking form the check bans,
+// as seen from a serve/ scheduler path: C stdio, std file streams,
+// sleeps, and a ThreadPool join. Expected findings: 8 (fopen, fwrite,
+// fclose, ofstream, ifstream, sleep_for, usleep, WaitAll); the fflush
+// carries an allow() and must stay quiet.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+namespace dbtune::serve {
+
+struct Pool;
+
+void DrainRound(Pool* pool, const double* scores, int n) {
+  std::FILE* file = std::fopen("/tmp/serve_scratch.bin", "wb");
+  const size_t wrote =
+      std::fwrite(scores, sizeof(double), static_cast<size_t>(n), file);
+  const int flushed = std::fflush(file);  // dbtune-lint: allow(blocking-in-scheduler)
+  const int closed = std::fclose(file);
+  std::ofstream log("/tmp/serve_scratch.log");
+  log << wrote << flushed << closed;
+  std::ifstream config("/tmp/serve_config.txt");
+  config >> n;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  usleep(10);
+  pool->WaitAll();
+}
+
+}  // namespace dbtune::serve

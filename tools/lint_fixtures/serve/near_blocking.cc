@@ -1,0 +1,33 @@
+// Near-misses for blocking-in-scheduler: the sanctioned serve-path
+// shapes must stay quiet. Durable writes flow through the
+// ObservationStore API, the only join is ParallelFor's internal one,
+// deadlines come from the idle sweep's clock, and non-call mentions of
+// banned names (comments, strings, plain variables) are not findings.
+namespace dbtune::serve {
+
+struct ObservationStore {
+  bool AppendObservation(const char* session, double score);
+};
+
+struct Pool {
+  template <typename Body>
+  void ParallelFor(int begin, int end, Body body);
+};
+
+// An ofstream or a WaitAll named in a comment stays quiet, as does the
+// banned vocabulary inside a string literal.
+const char* kSchedulerDoc = "no fopen, no sleep_for, no WaitAll";
+
+int DrainRound(ObservationStore* store, Pool* pool, double* scores, int n) {
+  pool->ParallelFor(0, n, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) scores[i] += 1.0;
+  });
+  int appended = 0;
+  for (int i = 0; i < n; ++i) {
+    if (store->AppendObservation("session", scores[i])) ++appended;
+  }
+  const int sleep = 0;  // a variable named sleep is not a sleep call
+  return appended + sleep;
+}
+
+}  // namespace dbtune::serve
